@@ -1,0 +1,70 @@
+package mucongest
+
+import (
+	"io"
+	"testing"
+
+	"mucongest/internal/bench"
+)
+
+// One benchmark per experiment of DESIGN.md §4. Each iteration runs the
+// whole experiment (workload generation + simulation sweep); reported
+// ns/op therefore tracks the end-to-end cost of regenerating the
+// corresponding paper table. Sizes are scaled down from cmd/muexp's
+// defaults to keep `go test -bench=.` snappy.
+
+func runTables(b *testing.B, f func() *bench.Table) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := f()
+		t.Fprint(io.Discard)
+	}
+}
+
+func BenchmarkE1_LowerBoundTightness(b *testing.B) {
+	runTables(b, func() *bench.Table { return bench.E1E2(36, 4, 1) })
+}
+
+func BenchmarkE2_CliqueListingCC(b *testing.B) {
+	runTables(b, func() *bench.Table { return bench.E1E2(32, 3, 1) })
+}
+
+func BenchmarkE3_TriangleMuCongest(b *testing.B) {
+	runTables(b, func() *bench.Table { return bench.E3(40, 1) })
+}
+
+func BenchmarkE4_PPassSimulation(b *testing.B) {
+	runTables(b, func() *bench.Table { return bench.E4E5(3, 6, 1) })
+}
+
+func BenchmarkE5_CycleOfCliques(b *testing.B) {
+	runTables(b, func() *bench.Table { return bench.E4E5(4, 6, 2) })
+}
+
+func BenchmarkE6_RandomOrderShuffle(b *testing.B) {
+	runTables(b, func() *bench.Table { return bench.E6(14, 1) })
+}
+
+func BenchmarkE7_OneWayGK(b *testing.B) {
+	runTables(b, func() *bench.Table { return bench.E7(16, 1) })
+}
+
+func BenchmarkE8_FullyMergeableMG(b *testing.B) {
+	runTables(b, func() *bench.Table { return bench.E8(16, 1) })
+}
+
+func BenchmarkE9_ComposableCRPrecis(b *testing.B) {
+	runTables(b, func() *bench.Table { return bench.E9(16, 1) })
+}
+
+func BenchmarkE10_MonochromaticTriangles(b *testing.B) {
+	runTables(b, func() *bench.Table { return bench.E10(24, 1) })
+}
+
+func BenchmarkE11_RoutingTradeoff(b *testing.B) {
+	runTables(b, func() *bench.Table { return bench.E11E12(28, 1) })
+}
+
+func BenchmarkE12_DecompTradeoff(b *testing.B) {
+	runTables(b, func() *bench.Table { return bench.E11E12(32, 2) })
+}

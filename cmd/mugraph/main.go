@@ -1,0 +1,62 @@
+// Command mugraph generates and inspects the workload graphs used by
+// the experiments: node/edge counts, degree extremes, diameter, lazy
+// random-walk mixing time, and triangle count.
+//
+// Usage:
+//
+//	mugraph -kind gnp -n 64 -p 0.5
+//	mugraph -kind cycliques -k 4 -size 8
+//	mugraph -kind hub -n 40 -p 0.3
+//	mugraph -kind regular -n 40 -d 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"mucongest/internal/clique"
+	"mucongest/internal/expander"
+	"mucongest/internal/graph"
+)
+
+func main() {
+	kind := flag.String("kind", "gnp", "gnp | cycliques | hub | regular | star | barbell")
+	n := flag.Int("n", 48, "node count")
+	p := flag.Float64("p", 0.5, "edge probability")
+	k := flag.Int("k", 4, "cliques in the cycle (cycliques)")
+	size := flag.Int("size", 8, "clique size (cycliques) / half size (barbell)")
+	d := flag.Int("d", 8, "degree (regular)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	rng := rand.New(rand.NewSource(*seed))
+	var g *graph.Graph
+	switch *kind {
+	case "gnp":
+		g = graph.Gnp(*n, *p, rng)
+	case "cycliques":
+		g = graph.CycleOfCliques(*k, *size)
+	case "hub":
+		g = graph.HubAndBlob(*n, *p, rng)
+	case "regular":
+		g = graph.RandomRegular(*n, *d, rng)
+	case "star":
+		g = graph.Star(*n)
+	case "barbell":
+		g = graph.BarbellExpanders(*size, *p, rng)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	fmt.Printf("kind      %s\n", *kind)
+	fmt.Printf("n         %d\n", g.N())
+	fmt.Printf("m         %d\n", g.M())
+	fmt.Printf("maxDeg Δ  %d\n", g.MaxDegree())
+	fmt.Printf("avgDeg    %.2f\n", g.AvgDegree())
+	fmt.Printf("connected %v\n", g.Connected())
+	fmt.Printf("diameter  %d\n", g.Diameter())
+	fmt.Printf("τ_mix     %d\n", expander.MixingTime(g, 100000))
+	fmt.Printf("triangles %d\n", len(clique.ListAll(g, 3)))
+}

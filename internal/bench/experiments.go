@@ -1,0 +1,378 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"mucongest/internal/clique"
+	"mucongest/internal/graph"
+	"mucongest/internal/lowerbound"
+	"mucongest/internal/mergesim"
+	"mucongest/internal/sim"
+	"mucongest/internal/sketch"
+	"mucongest/internal/streamsim"
+	"mucongest/internal/trianglestats"
+)
+
+// E1E2 runs k-clique listing in the μ-Congested-Clique over a μ sweep
+// (Theorem 2.10 upper bound, Theorem 1.1 lower bound). One table for
+// both experiments: measured rounds between the two theory columns.
+func E1E2(n int, k int, seed int64) *Table {
+	t := &Table{
+		ID:     "E1/E2",
+		Title:  fmt.Sprintf("%d-clique listing in μ-Congested-Clique, n=%d, G(n,1/2)", k, n),
+		Claim:  "Θ(n^(k-2)/μ^(k/2-1)) rounds (Thm 1.1 LB, Thm 2.10 UB)",
+		Header: []string{"mu", "rounds", "LB(Thm1.1)", "UB(Thm2.10)", "rounds/UB", "cliques", "peakWords"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.Gnp(n, 0.5, rng)
+	want := len(clique.ListAll(g, k))
+	maxMu := int64(math.Pow(float64(n), 2-2/float64(k)))
+	for mu := int64(n); mu <= maxMu; mu *= 2 {
+		router := clique.NewOracleRouter(n)
+		e := sim.New(sim.NewComplete(n), sim.WithSeed(seed))
+		res, err := e.Run(clique.CongestedCliqueKCliques(g, k, mu, router))
+		if err != nil {
+			panic(err)
+		}
+		got := len(clique.CollectTriangles(res))
+		ub := clique.PredictedCCRounds(n, k, mu)
+		lb := lowerbound.KCliqueListingRounds(float64(n), k, float64(mu), float64(n))
+		t.AddRow(mu, res.Rounds, lb, ub, float64(res.Rounds)/ub,
+			fmt.Sprintf("%d/%d", got, want), res.MaxPeakWords())
+	}
+	t.Notes = append(t.Notes,
+		"rounds/UB should stay near-constant across the μ sweep (shape match)")
+	return t
+}
+
+// E3 sweeps μ for the μ-CONGEST triangle listing (Theorem 1.2).
+func E3(n int, seed int64) *Table {
+	t := &Table{
+		ID:     "E3",
+		Title:  fmt.Sprintf("triangle listing in μ-CONGEST, n=%d, G(n,1/2)", n),
+		Claim:  "n^(1+o(1))/√μ rounds (Thm 1.2); Ω(n/√μ) (Thm 1.1)",
+		Header: []string{"mu", "rounds", "rounds*sqrt(mu)/n", "triangles", "peakWords"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.Gnp(n, 0.5, rng)
+	want := len(clique.ListAll(g, 3))
+	// Sweep from μ = Δ (the model's base assumption) to n^(4/3): below
+	// ~2m̃/|U|^(2/3) the √(m̃/μ) bucket term governs; above it the
+	// A-regime floor |U|^(1/3) takes over and rounds flatten.
+	maxMu := int64(math.Pow(float64(n), 4.0/3))
+	for mu := int64(g.MaxDegree()); mu <= maxMu; mu *= 2 {
+		tris, res, err := clique.RunMuCongestTriangles(
+			clique.MuTriangleConfig{G: g, Mu: mu}, sim.WithSeed(seed))
+		if err != nil {
+			panic(err)
+		}
+		norm := float64(res.Rounds) * math.Sqrt(float64(mu)) / float64(n)
+		t.AddRow(mu, res.Rounds, norm,
+			fmt.Sprintf("%d/%d", len(tris), want), res.MaxPeakWords())
+	}
+	t.Notes = append(t.Notes,
+		"rounds·√μ/n flat ⇒ the 1/√μ tradeoff of Thm 1.2 holds (polylog drift expected)")
+	return t
+}
+
+// E4E5 compares naive vs cached p-pass simulation on the
+// cycle-of-cliques (Theorems 1.3 and 1.4).
+func E4E5(cliques, size int, seed int64) *Table {
+	g := graph.CycleOfCliques(cliques, size)
+	n, delta := g.N(), g.MaxDegree()
+	t := &Table{
+		ID:    "E4/E5",
+		Title: fmt.Sprintf("p-pass simulation, cycle-of-cliques n=%d Δ=%d", n, delta),
+		Claim: "naive Ω(n·Δ·p) when μ≤n/4 (Thm 1.4) vs cached O(n(Δ+p)) (Thm 1.3)",
+		Header: []string{"p", "naive", "cached", "speedup",
+			"theoryNaive", "theoryCached"},
+	}
+	rng := rand.New(rand.NewSource(seed))
+	labels := map[[2]int]int64{}
+	for _, e := range g.Edges() {
+		labels[[2]int{e.U, e.V}] = rng.Int63n(64)
+	}
+	for _, p := range []int{1, 2, 4, 8} {
+		mk := func() streamsim.Client { return streamsim.NewMultipassSelect(1, 0, 63, 2, p) }
+		_, resN, err := streamsim.RunPPass(g, labels, mk, false, sim.WithSeed(seed))
+		if err != nil {
+			panic(err)
+		}
+		_, resC, err := streamsim.RunPPass(g, labels, mk, true, sim.WithSeed(seed))
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(p, resN.Rounds, resC.Rounds,
+			float64(resN.Rounds)/float64(resC.Rounds),
+			lowerbound.StreamingSimulationRounds(float64(n), float64(delta), float64(p)),
+			lowerbound.CachedSimulationRounds(float64(n), float64(delta), float64(p)))
+	}
+	t.Notes = append(t.Notes,
+		"speedup must grow with p: caching wins exactly as Thm 1.3 predicts",
+		"naive grows ∝p (the Thm 1.4 bottleneck through the two bridge edges)")
+	return t
+}
+
+// E6 measures the random-order shuffle (Theorem 1.5): rounds vs the
+// O(n(Δ+p)) budget plus a first-position uniformity χ².
+func E6(n int, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.HubAndBlob(n, 0.4, rng)
+	delta := g.MaxDegree()
+	t := &Table{
+		ID:     "E6",
+		Title:  fmt.Sprintf("random-order stream (Thm 1.5), hub graph n=%d Δ=%d", n, delta),
+		Claim:  "O(n(Δ+p)) rounds, μ = M+n+Δ²; output order uniform",
+		Header: []string{"p", "rounds", "theory n(Δ+p)", "ratio"},
+	}
+	labels := map[[2]int]int64{}
+	for i, e := range g.Edges() {
+		labels[[2]int{e.U, e.V}] = int64(i + 1)
+	}
+	for _, p := range []int{1, 2, 4} {
+		mk := func() streamsim.Client { return streamsim.NewRecorder(p) }
+		_, res, err := streamsim.RunRandomOrder(g, labels, mk, sim.WithSeed(seed))
+		if err != nil {
+			panic(err)
+		}
+		theory := float64(n) * float64(delta+p)
+		t.AddRow(p, res.Rounds, theory, float64(res.Rounds)/theory)
+	}
+	// Uniformity: χ² of the first stream position over a small star.
+	star := graph.Star(5)
+	slabels := map[[2]int]int64{}
+	for i, e := range star.Edges() {
+		slabels[[2]int{e.U, e.V}] = int64(i + 1)
+	}
+	trials := 200
+	first := map[int64]int{}
+	for s := 0; s < trials; s++ {
+		out, _, err := streamsim.RunRandomOrder(star, slabels,
+			func() streamsim.Client { return streamsim.NewRecorder(1) },
+			sim.WithSeed(seed+int64(s)))
+		if err != nil {
+			panic(err)
+		}
+		first[out[0]]++
+	}
+	chi2 := 0.0
+	expect := float64(trials) / 4
+	for l := int64(1); l <= 4; l++ {
+		d := float64(first[l]) - expect
+		chi2 += d * d / expect
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("first-position χ²(df=3) = %.2f over %d trials (uniform if ≲ 11.3)", chi2, trials))
+	return t
+}
+
+// E7 sweeps |I| for the one-way mergeable GK simulation (Theorem 1.6).
+func E7(n int, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.GnpConnected(n, 0.15, rng)
+	D := g.Diameter()
+	eps := 0.1
+	t := &Table{
+		ID:     "E7",
+		Title:  fmt.Sprintf("one-way mergeable GK quantiles (Thm 1.6), G(n,.15) n=%d D=%d ε=%.2f", n, D, eps),
+		Claim:  "O(min{nM, √(|I|M)} + D) rounds; quantile error ≤ ε·m",
+		Header: []string{"|I|", "rounds", "theory", "ratio", "medianErr/m"},
+	}
+	for _, per := range []int{8, 32, 128} {
+		items := make([][]int64, n)
+		var all []int64
+		for v := range items {
+			for i := 0; i < per; i++ {
+				x := rng.Int63n(100000)
+				items[v] = append(items[v], x)
+				all = append(all, x)
+			}
+		}
+		total := int64(len(all))
+		kind := sketch.NewGKKind(eps, total)
+		sum, res, err := mergesim.RunOneWay(g, items, kind, sim.WithSeed(seed))
+		if err != nil {
+			panic(err)
+		}
+		gk := sum.(*sketch.GK)
+		med := gk.Query(0.5)
+		var below int64
+		for _, x := range all {
+			if x < med {
+				below++
+			}
+		}
+		rankErr := math.Abs(float64(below)-0.5*float64(total)) / float64(total)
+		theory := lowerbound.OneWayMergeRounds(float64(n), float64(kind.M()), float64(total), float64(D))
+		t.AddRow(total, res.Rounds, theory, float64(res.Rounds)/theory, rankErr)
+	}
+	t.Notes = append(t.Notes, "ratio steady across the |I| sweep ⇒ √(|I|·M) scaling")
+	return t
+}
+
+// E8 sweeps μ for the fully-mergeable MG simulation (Theorem 1.7) and
+// checks the heavy-hitter pipeline with exact refinement.
+func E8(n int, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.GnpConnected(n, 0.15, rng)
+	D := g.Diameter()
+	delta := g.MaxDegree()
+	k := 9
+	kind := sketch.NewMGKind(k)
+	M := kind.M()
+	t := &Table{
+		ID:     "E8",
+		Title:  fmt.Sprintf("fully-mergeable Misra–Gries (Thm 1.7), n=%d Δ=%d D=%d k=%d", n, delta, D, k),
+		Claim:  "O(log(min{nM,|I|})·(M·log(Δ/(μ/M))+D)) rounds; error ≤ m/(k+1)",
+		Header: []string{"mu", "rounds", "theory", "maxErr", "bound m/(k+1)"},
+	}
+	items := make([][]int64, n)
+	z := rand.NewZipf(rng, 1.25, 1, 29)
+	var m int64
+	exact := map[int64]int64{}
+	for v := range items {
+		for i := 0; i < 50; i++ {
+			x := int64(z.Uint64()) + 1
+			items[v] = append(items[v], x)
+			exact[x]++
+			m++
+		}
+	}
+	for _, mu := range []int64{0, int64(4 * M), int64(16 * M)} {
+		sum, res, err := mergesim.RunFully(g, items, kind, mu, sim.WithSeed(seed))
+		if err != nil {
+			panic(err)
+		}
+		mg := sum.(*sketch.MG)
+		var maxErr int64
+		for x := int64(1); x <= 30; x++ {
+			if d := exact[x] - mg.Estimate(x); d > maxErr {
+				maxErr = d
+			}
+		}
+		muEff := mu
+		if muEff == 0 {
+			muEff = int64(2 * M)
+		}
+		theory := lowerbound.FullyMergeRounds(float64(n), float64(M), float64(m),
+			float64(D), float64(delta), float64(muEff))
+		t.AddRow(mu, res.Rounds, theory, maxErr, m/int64(k+1))
+	}
+	t.Notes = append(t.Notes, "rounds drop as μ grows (merge groups of μ/2M summaries)")
+	return t
+}
+
+// E9 runs the composable CR-Precis entropy estimation (Theorem 1.8).
+func E9(n int, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.GnpConnected(n, 0.15, rng)
+	D := g.Diameter()
+	t := &Table{
+		ID:     "E9",
+		Title:  fmt.Sprintf("composable CR-Precis entropy (Thm 1.8), n=%d D=%d", n, D),
+		Claim:  "O(log(min{nM,|I|})·(M+D)) rounds; Ĥ sandwiched around H",
+		Header: []string{"rows t", "M", "rounds", "theory", "H", "Ĥ", "Ĥ/H"},
+	}
+	universe := int64(64)
+	items := make([][]int64, n)
+	var m int64
+	ex := sketch.NewExactKind(int(universe)).New().(*sketch.Exact)
+	z := rand.NewZipf(rng, 1.2, 1, uint64(universe-1))
+	for v := range items {
+		for i := 0; i < 60; i++ {
+			x := int64(z.Uint64()) + 1
+			items[v] = append(items[v], x)
+			ex.Insert(x)
+			m++
+		}
+	}
+	uni := make([]int64, universe)
+	for i := range uni {
+		uni[i] = int64(i) + 1
+	}
+	H := ex.Entropy()
+	for _, rows := range []int{2, 4, 8} {
+		kind := sketch.NewCRPrecisKind(67, rows)
+		sum, res, err := mergesim.RunComposable(g, items, kind, sim.WithSeed(seed))
+		if err != nil {
+			panic(err)
+		}
+		cr := sum.(*sketch.CRPrecis)
+		Hhat := cr.EstimateEntropy(uni)
+		theory := lowerbound.ComposableMergeRounds(float64(n), float64(kind.M()), float64(m), float64(D))
+		t.AddRow(rows, kind.M(), res.Rounds, theory, H, Hhat, Hhat/H)
+	}
+	t.Notes = append(t.Notes, "Ĥ/H → 1 as the sketch widens (prime base > universe ⇒ exact)")
+	return t
+}
+
+// E10 runs the end-to-end monochromatic-triangle census (§1.2.2).
+func E10(n int, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	g, colors := graph.ColoredGnp(n, 0.5, 6, []float64{15, 3, 1, 1, 1, 1}, rng)
+	t := &Table{
+		ID:     "E10",
+		Title:  fmt.Sprintf("frequent monochromatic triangles (§1.2.2), n=%d c=6", n),
+		Claim:  "n^(1+o(1))/√μ + log m·(ε⁻¹·log(Δε⁻¹/μ)+D) rounds",
+		Header: []string{"mu", "listRounds", "sketchRounds", "refineRounds", "heavyColors", "monoTris"},
+	}
+	for _, mu := range []int64{int64(n), int64(4 * n)} {
+		res, err := trianglestats.Run(trianglestats.Config{
+			G: g, Colors: colors, Mu: mu, Eps: 0.2, Seed: seed,
+		})
+		if err != nil {
+			panic(err)
+		}
+		t.AddRow(mu, res.ListingRounds, res.SketchRounds, res.RefineRounds,
+			fmt.Sprint(res.HeavyColors), res.MonoTriangles)
+	}
+	return t
+}
+
+// E11E12 sweeps the Lemma A.2/A.3 round–space tradeoff parameter α in
+// the triangle listing: space ÷α at the cost of rounds ×α².
+func E11E12(n int, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.Gnp(n, 0.5, rng)
+	t := &Table{
+		ID:     "E11/E12",
+		Title:  fmt.Sprintf("round–space tradeoff α (Lemmas A.2/A.3), triangle listing n=%d", n),
+		Claim:  "space ⌈deg/α⌉·polylog, rounds ×α²",
+		Header: []string{"alpha", "rounds", "peakWords", "rounds/alpha^2"},
+	}
+	for _, alpha := range []int{1, 2, 4} {
+		tris, res, err := clique.RunMuCongestTriangles(clique.MuTriangleConfig{
+			G: g, Mu: int64(n), Alpha: alpha,
+		}, sim.WithSeed(seed))
+		if err != nil {
+			panic(err)
+		}
+		_ = tris
+		t.AddRow(alpha, res.Rounds, res.MaxPeakWords(),
+			float64(res.Rounds)/float64(alpha*alpha))
+	}
+	t.Notes = append(t.Notes,
+		"rounds/α² roughly flat ⇒ the Lemma A.2 round inflation",
+		"at this scale peak memory is dominated by the input adjacency and μ-sized "+
+			"chunks, not the routing embedding; the space side of the tradeoff is "+
+			"isolated in expander.TestRouterAlphaTradeoffCharges")
+	return t
+}
+
+// All runs every experiment at laptop scale.
+func All(seed int64) []*Table {
+	return []*Table{
+		E1E2(48, 3, seed),
+		E1E2(36, 4, seed),
+		E3(96, seed),
+		E4E5(4, 8, seed),
+		E6(20, seed),
+		E7(24, seed),
+		E8(24, seed),
+		E9(24, seed),
+		E10(32, seed),
+		E11E12(40, seed),
+	}
+}

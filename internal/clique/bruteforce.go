@@ -1,0 +1,173 @@
+// Package clique implements the paper's clique-listing algorithms: the
+// local listing primitive of Theorem B.1, the deterministic k-clique
+// listing in the μ-Congested-Clique via subset covers (Theorem 2.10),
+// and the μ-CONGEST triangle listing of Theorem 1.2 built on clustering
+// and memory-chunked edge delivery, plus a brute-force reference
+// enumerator used for correctness checks and by master nodes on their
+// μ-bounded edge batches.
+package clique
+
+import (
+	"sort"
+
+	"mucongest/internal/graph"
+)
+
+// Clique is a sorted list of k node ids forming a clique.
+type Clique []int
+
+// Key returns a canonical string key for set-comparison in tests and
+// dedup.
+func (c Clique) Key() string {
+	b := make([]byte, 0, len(c)*4)
+	for _, v := range c {
+		b = append(b, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return string(b)
+}
+
+// ListAll enumerates every k-clique of g by ordered extension: cliques
+// are grown in increasing node order, intersecting candidate sets. The
+// reference algorithm for tests.
+func ListAll(g *graph.Graph, k int) []Clique {
+	if k < 1 {
+		return nil
+	}
+	var out []Clique
+	cur := make([]int, 0, k)
+	var extend func(cands []int)
+	extend = func(cands []int) {
+		if len(cur) == k {
+			cl := make(Clique, k)
+			copy(cl, cur)
+			out = append(out, cl)
+			return
+		}
+		for i, v := range cands {
+			cur = append(cur, v)
+			if len(cur) == k {
+				extend(nil)
+			} else {
+				next := intersectGreater(cands[i+1:], g.Neighbors(v))
+				extend(next)
+			}
+			cur = cur[:len(cur)-1]
+		}
+	}
+	all := make([]int, g.N())
+	for i := range all {
+		all[i] = i
+	}
+	extend(all)
+	return out
+}
+
+// intersectGreater returns the intersection of two sorted int slices.
+func intersectGreater(a, b []int) []int {
+	out := make([]int, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// ListInEdgeSet enumerates all k-cliques of the graph induced by the
+// given edge list (node ids arbitrary). Used by master nodes on their
+// ≤ μ-word edge batches.
+func ListInEdgeSet(edges [][2]int, k int) []Clique {
+	ids := make(map[int]int)
+	var order []int
+	for _, e := range edges {
+		for _, v := range e {
+			if _, ok := ids[v]; !ok {
+				ids[v] = len(order)
+				order = append(order, v)
+			}
+		}
+	}
+	sort.Ints(order)
+	for i, v := range order {
+		ids[v] = i
+	}
+	g := graph.New(len(order))
+	seen := make(map[[2]int]bool, len(edges))
+	for _, e := range edges {
+		u, v := ids[e[0]], ids[e[1]]
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		if !seen[[2]int{u, v}] {
+			seen[[2]int{u, v}] = true
+			g.AddEdge(u, v)
+		}
+	}
+	g.Finish()
+	var out []Clique
+	for _, cl := range ListAll(g, k) {
+		mapped := make(Clique, len(cl))
+		for i, v := range cl {
+			mapped[i] = order[v]
+		}
+		sort.Ints(mapped)
+		out = append(out, mapped)
+	}
+	return out
+}
+
+// Dedup returns the set union of cliques, sorted canonically.
+func Dedup(cls []Clique) []Clique {
+	seen := make(map[string]Clique, len(cls))
+	for _, c := range cls {
+		s := make(Clique, len(c))
+		copy(s, c)
+		sort.Ints(s)
+		seen[s.Key()] = s
+	}
+	out := make([]Clique, 0, len(seen))
+	for _, c := range seen {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for x := range out[i] {
+			if out[i][x] != out[j][x] {
+				return out[i][x] < out[j][x]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// SameSet reports whether two clique collections are equal as sets.
+func SameSet(a, b []Clique) bool {
+	da, db := Dedup(a), Dedup(b)
+	if len(da) != len(db) {
+		return false
+	}
+	for i := range da {
+		if da[i].Key() != db[i].Key() {
+			return false
+		}
+	}
+	return true
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

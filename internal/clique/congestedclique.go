@@ -1,0 +1,156 @@
+package clique
+
+import (
+	"math"
+	"sort"
+
+	"mucongest/internal/cover"
+	"mucongest/internal/graph"
+	"mucongest/internal/sim"
+)
+
+// ccPlan is the deterministic global schedule of Theorem 2.10: node
+// groups, master assignments, and per-master subset covers. Every node
+// computes the identical plan locally from (n, k, μ), so the plan needs
+// no communication — exactly as in the paper's proof.
+type ccPlan struct {
+	k         int
+	groups    [][]int // node ids per group
+	multisets [][]int // each a sorted multiset of group indices
+	masters   []int   // master node per multiset
+	covers    [][][]int
+	universes [][]int // sorted union of group members per multiset
+	blocks    int
+}
+
+func newCCPlan(n, k int, mu int64) *ccPlan {
+	gc := int(math.Floor(math.Pow(float64(n), 1/float64(k))))
+	if gc < 1 {
+		gc = 1
+	}
+	gs := (n + gc - 1) / gc
+	p := &ccPlan{k: k}
+	for j := 0; j < gc; j++ {
+		lo, hi := j*gs, (j+1)*gs
+		if hi > n {
+			hi = n
+		}
+		grp := make([]int, 0, hi-lo)
+		for v := lo; v < hi; v++ {
+			grp = append(grp, v)
+		}
+		if len(grp) > 0 {
+			p.groups = append(p.groups, grp)
+		}
+	}
+	gc = len(p.groups)
+	// Enumerate multisets of k group indices.
+	idx := make([]int, k)
+	var rec func(pos, start int)
+	rec = func(pos, start int) {
+		if pos == k {
+			ms := make([]int, k)
+			copy(ms, idx)
+			p.multisets = append(p.multisets, ms)
+			return
+		}
+		for j := start; j < gc; j++ {
+			idx[pos] = j
+			rec(pos+1, j)
+		}
+	}
+	rec(0, 0)
+	b := int(math.Floor(math.Sqrt(float64(mu))))
+	if b < k {
+		b = k
+	}
+	for t, ms := range p.multisets {
+		p.masters = append(p.masters, t%n)
+		seen := map[int]bool{}
+		var uni []int
+		for _, j := range ms {
+			if !seen[j] {
+				seen[j] = true
+				uni = append(uni, p.groups[j]...)
+			}
+		}
+		sort.Ints(uni)
+		p.universes = append(p.universes, uni)
+		cov := cover.New(len(uni), b, k)
+		p.covers = append(p.covers, cov)
+		if len(cov) > p.blocks {
+			p.blocks = len(cov)
+		}
+	}
+	return p
+}
+
+// CongestedCliqueKCliques implements Theorem 2.10: deterministic
+// k-clique listing in the μ-Congested-Clique in O(n^(k-2)/μ^(k/2-1))
+// rounds for n ≤ μ ≤ n^(2-2/k). The returned program must be run on a
+// sim.Engine over sim.NewComplete(g.N()); each node's input is its
+// incident edges of g. All nodes share router (created once per run).
+//
+// Schedule: in block i, the master of every group-multiset receives all
+// edges inside the i-th set of its subset cover (at most ~μ edge words)
+// via Lenzen routing, lists the k-cliques in that batch, emits them,
+// and frees the batch.
+func CongestedCliqueKCliques(g *graph.Graph, k int, mu int64, router *OracleRouter) func(*sim.Ctx) {
+	plan := newCCPlan(g.N(), k, mu)
+	return func(c *sim.Ctx) {
+		id := c.ID()
+		nbr := g.Neighbors(id)
+		c.Charge(int64(len(nbr))) // input adjacency
+		defer c.Release(int64(len(nbr)))
+
+		// Which multisets does this node's master role cover?
+		var myMultisets []int
+		for t, m := range plan.masters {
+			if m == id {
+				myMultisets = append(myMultisets, t)
+			}
+		}
+		for blk := 0; blk < plan.blocks; blk++ {
+			var out []Packet
+			for t, cov := range plan.covers {
+				if blk >= len(cov) {
+					continue
+				}
+				uni := plan.universes[t]
+				// Membership test for this node in S (local indices).
+				inS := make(map[int]bool, len(cov[blk]))
+				for _, li := range cov[blk] {
+					inS[uni[li]] = true
+				}
+				if !inS[id] {
+					continue
+				}
+				dst := plan.masters[t]
+				for _, w := range nbr {
+					if w > id && inS[w] {
+						out = append(out, Packet{Dst: dst, A: int64(id), B: int64(w)})
+					}
+				}
+			}
+			recv := router.Route(c, out)
+			if len(recv) > 0 {
+				c.Charge(int64(2 * len(recv))) // the ≤ O(μ) edge batch
+				edges := make([][2]int, len(recv))
+				for i, p := range recv {
+					edges[i] = [2]int{int(p.A), int(p.B)}
+				}
+				for _, cl := range ListInEdgeSet(edges, k) {
+					c.Emit(cl)
+				}
+				c.Release(int64(2 * len(recv)))
+			}
+			_ = myMultisets
+		}
+	}
+}
+
+// PredictedCCRounds returns the Theorem 2.10 bound n^(k-2)/μ^(k/2-1),
+// the theory column of experiment E2.
+func PredictedCCRounds(n int, k int, mu int64) float64 {
+	return math.Pow(float64(n), float64(k-2)) / math.Pow(float64(mu), float64(k)/2-1)
+}

@@ -1,0 +1,104 @@
+package clique
+
+import (
+	"math/rand"
+	"testing"
+
+	"mucongest/internal/graph"
+	"mucongest/internal/sim"
+)
+
+func TestMuCongestTrianglesComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"gnp-dense", graph.Gnp(28, 0.5, rng)},
+		{"gnp-sparse", graph.Gnp(40, 0.15, rng)},
+		{"cliques", graph.CycleOfCliques(4, 7)},
+		{"barbell", graph.BarbellExpanders(14, 0.6, rng)},
+	} {
+		want := ListAll(tc.g, 3)
+		got, res, err := RunMuCongestTriangles(MuTriangleConfig{
+			G: tc.g, Mu: int64(2 * tc.g.N()),
+		}, sim.WithSeed(7))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !SameSet(got, want) {
+			t.Fatalf("%s: listed %d triangles, want %d", tc.name, len(got), len(want))
+		}
+		if res.Rounds <= 0 && tc.g.M() > 0 {
+			t.Fatalf("%s: no rounds recorded", tc.name)
+		}
+	}
+}
+
+func TestMuCongestTrianglesRoundsDropWithMu(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.Gnp(80, 0.5, rng)
+	rounds := func(mu int64) int {
+		_, res, err := RunMuCongestTriangles(MuTriangleConfig{G: g, Mu: mu}, sim.WithSeed(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Rounds
+	}
+	// Stay within the theorem's μ ≤ n^(4/3) range, where the √(m̃/μ)
+	// bucket term governs.
+	small := rounds(int64(g.N()))
+	big := rounds(int64(g.N()) * 4)
+	if big >= small {
+		t.Fatalf("rounds should drop as μ grows: μ=n→%d, μ=4n→%d", small, big)
+	}
+}
+
+func TestMuCongestTrianglesAlphaTradeoff(t *testing.T) {
+	// Lemma A.2: α saves memory but costs rounds (×α² on routed loads).
+	rng := rand.New(rand.NewSource(3))
+	g := graph.Gnp(36, 0.5, rng)
+	run := func(alpha int) *sim.Result {
+		_, res, err := RunMuCongestTriangles(MuTriangleConfig{
+			G: g, Mu: int64(g.N()), Alpha: alpha,
+		}, sim.WithSeed(5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1 := run(1)
+	r3 := run(3)
+	if r3.Rounds <= r1.Rounds {
+		t.Fatalf("α=3 should cost more rounds: %d vs %d", r3.Rounds, r1.Rounds)
+	}
+}
+
+func TestMuCongestEmptyAndTriangleFree(t *testing.T) {
+	// Triangle-free graph: must terminate with zero triangles.
+	g := graph.Cycle(12)
+	got, _, err := RunMuCongestTriangles(MuTriangleConfig{G: g, Mu: 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("cycle has no triangles, listed %v", got)
+	}
+}
+
+func TestMuCongestDeterministicAcrossRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.Gnp(24, 0.4, rng)
+	a, resA, err := RunMuCongestTriangles(MuTriangleConfig{G: g, Mu: 48}, sim.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, resB, err := RunMuCongestTriangles(MuTriangleConfig{G: g, Mu: 48}, sim.WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !SameSet(a, b) || resA.Rounds != resB.Rounds {
+		t.Fatalf("non-deterministic: %d/%d triangles, %d/%d rounds",
+			len(a), len(b), resA.Rounds, resB.Rounds)
+	}
+}

@@ -1,0 +1,72 @@
+// Package cover implements (a,b,c) subset covers (Definition 2.11 of
+// the paper): sequences of b-sized subsets of {0..a-1} such that every
+// c-element subset is contained in some member. The construction
+// follows the paper: partition the a elements into groups of size
+// ⌊b/c⌋ and take the union of every c-multiset of groups, giving
+// z = O((a·c/b)^c) sets.
+package cover
+
+// New constructs an (a,b,c) subset cover. Requires b ≥ c ≥ 1 and
+// a ≥ 1. Each returned set has at most c·⌈b/c⌉ ≤ b+c elements, and
+// every c-element subset of {0..a-1} is contained in at least one set.
+func New(a, b, c int) [][]int {
+	if c < 1 || b < c || a < 1 {
+		panic("cover: requires a ≥ 1 and b ≥ c ≥ 1")
+	}
+	sz := b / c
+	if sz < 1 {
+		sz = 1
+	}
+	g := (a + sz - 1) / sz // number of groups
+	groups := make([][]int, g)
+	for j := 0; j < g; j++ {
+		lo := j * sz
+		hi := lo + sz
+		if hi > a {
+			hi = a
+		}
+		for e := lo; e < hi; e++ {
+			groups[j] = append(groups[j], e)
+		}
+	}
+	var out [][]int
+	idx := make([]int, c)
+	var rec func(pos, start int)
+	rec = func(pos, start int) {
+		if pos == c {
+			set := make([]int, 0, c*sz)
+			prev := -1
+			for _, j := range idx {
+				if j == prev {
+					continue // same group picked twice adds nothing
+				}
+				set = append(set, groups[j]...)
+				prev = j
+			}
+			out = append(out, set)
+			return
+		}
+		for j := start; j < g; j++ {
+			idx[pos] = j
+			rec(pos+1, j)
+		}
+	}
+	rec(0, 0)
+	return out
+}
+
+// Size returns the number of sets z = C(g+c-1, c) that New(a,b,c)
+// produces, where g = ⌈a/⌊b/c⌋⌉.
+func Size(a, b, c int) int {
+	sz := b / c
+	if sz < 1 {
+		sz = 1
+	}
+	g := (a + sz - 1) / sz
+	// multichoose(g, c)
+	num := 1
+	for i := 0; i < c; i++ {
+		num = num * (g + i) / (i + 1)
+	}
+	return num
+}

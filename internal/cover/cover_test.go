@@ -1,0 +1,93 @@
+package cover
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// covers reports whether some set in cov contains every element of want.
+func covers(cov [][]int, want []int) bool {
+	for _, s := range cov {
+		in := make(map[int]bool, len(s))
+		for _, e := range s {
+			in[e] = true
+		}
+		ok := true
+		for _, e := range want {
+			if !in[e] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCoverAllTriples(t *testing.T) {
+	a, b, c := 12, 6, 3
+	cov := New(a, b, c)
+	for x := 0; x < a; x++ {
+		for y := x; y < a; y++ {
+			for z := y; z < a; z++ {
+				if !covers(cov, []int{x, y, z}) {
+					t.Fatalf("triple {%d,%d,%d} uncovered", x, y, z)
+				}
+			}
+		}
+	}
+}
+
+func TestCoverSetSizes(t *testing.T) {
+	a, b, c := 30, 9, 3
+	cov := New(a, b, c)
+	for i, s := range cov {
+		if len(s) > b+c {
+			t.Fatalf("set %d has %d elements > b+c=%d", i, len(s), b+c)
+		}
+	}
+	if len(cov) != Size(a, b, c) {
+		t.Fatalf("got %d sets, Size predicts %d", len(cov), Size(a, b, c))
+	}
+}
+
+func TestCoverPairsProperty(t *testing.T) {
+	f := func(aRaw, bRaw uint8) bool {
+		a := int(aRaw%20) + 2
+		b := int(bRaw%10) + 2
+		cov := New(a, b, 2)
+		for x := 0; x < a; x++ {
+			for y := x; y < a; y++ {
+				if !covers(cov, []int{x, y}) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverK4(t *testing.T) {
+	a, b, c := 8, 4, 4
+	cov := New(a, b, c)
+	// Check a sample of 4-subsets.
+	for x := 0; x < a; x++ {
+		for y := x + 1; y < a; y++ {
+			if !covers(cov, []int{x, y, (y + 1) % a, (y + 2) % a}) {
+				t.Fatalf("4-subset with {%d,%d} uncovered", x, y)
+			}
+		}
+	}
+}
+
+func TestCoverDegenerate(t *testing.T) {
+	cov := New(3, 3, 3)
+	if !covers(cov, []int{0, 1, 2}) {
+		t.Fatal("whole set uncovered")
+	}
+}

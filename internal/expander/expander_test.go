@@ -1,0 +1,154 @@
+package expander
+
+import (
+	"math/rand"
+	"testing"
+
+	"mucongest/internal/graph"
+	"mucongest/internal/sim"
+)
+
+func TestMPXClustersValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.GnpConnected(60, 0.15, rng)
+	clusters, res, err := RunMPX(g, func(int) bool { return true }, 0.4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every node clustered; every cluster center is in its own cluster.
+	for v, cl := range clusters {
+		if cl < 0 {
+			t.Fatalf("node %d unclustered", v)
+		}
+		if clusters[cl] != cl {
+			t.Fatalf("center %d of node %d not in own cluster", cl, v)
+		}
+	}
+	if res.Rounds <= 0 {
+		t.Fatal("no rounds")
+	}
+	// Cut fraction should be bounded away from 1 (β-ish in expectation).
+	cut := 0
+	for _, e := range g.Edges() {
+		if clusters[e.U] != clusters[e.V] {
+			cut++
+		}
+	}
+	if float64(cut) > 0.85*float64(g.M()) {
+		t.Fatalf("MPX cut %d of %d edges", cut, g.M())
+	}
+}
+
+func TestMPXInactiveNodes(t *testing.T) {
+	g := graph.Cycle(12)
+	clusters, _, err := RunMPX(g, func(v int) bool { return v%2 == 0 }, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, cl := range clusters {
+		if v%2 == 1 && cl != -1 {
+			t.Fatalf("inactive node %d got cluster %d", v, cl)
+		}
+		// Even nodes on a cycle with odd nodes inactive are isolated in
+		// the active subgraph: singleton clusters.
+		if v%2 == 0 && cl != v {
+			t.Fatalf("isolated active node %d joined %d", v, cl)
+		}
+	}
+}
+
+func TestMixingTimeOrdersGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	exp := graph.RandomRegular(40, 8, rng)
+	barbell := graph.BarbellExpanders(20, 0.6, rng)
+	te := MixingTime(exp, 100000)
+	tb := MixingTime(barbell, 100000)
+	if te >= tb {
+		t.Fatalf("expander τmix %d should beat barbell %d", te, tb)
+	}
+}
+
+func TestConductance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	barbell := graph.BarbellExpanders(15, 0.6, rng)
+	phi := Conductance(barbell, func(v int) bool { return v < 15 })
+	if phi > 0.05 {
+		t.Fatalf("barbell half-cut conductance %f too high", phi)
+	}
+	clique := graph.Gnp(20, 1.0, rng)
+	phiK := Conductance(clique, func(v int) bool { return v < 10 })
+	if phiK < 0.4 {
+		t.Fatalf("clique half-cut conductance %f too low", phiK)
+	}
+}
+
+func TestRouterDeliversAndCharges(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := graph.GnpConnected(20, 0.4, rng)
+	for _, alpha := range []int{1, 3} {
+		r := NewRouter(g, alpha)
+		e := sim.New(g)
+		res, err := e.Run(func(c *sim.Ctx) {
+			out := []Packet{{Dst: (c.ID() + 1) % g.N(), A: int64(c.ID())}}
+			in := r.Route(c, out)
+			if len(in) != 1 || int(in[0].A) != (c.ID()+g.N()-1)%g.N() {
+				c.Emit("bad")
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.N(); v++ {
+			if len(res.Outputs[v]) != 0 {
+				t.Fatalf("α=%d: delivery failed at %d", alpha, v)
+			}
+		}
+		if res.Rounds < 3 {
+			t.Fatalf("α=%d: no routing charge", alpha)
+		}
+	}
+}
+
+func TestRouterAlphaTradeoffCharges(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.GnpConnected(24, 0.4, rng)
+	rounds := map[int]int{}
+	words := map[int]int64{}
+	for _, alpha := range []int{1, 4} {
+		r := NewRouter(g, alpha)
+		e := sim.New(g)
+		res, err := e.Run(func(c *sim.Ctx) {
+			var out []Packet
+			for i := 0; i < 3*c.Degree(); i++ {
+				out = append(out, Packet{Dst: (c.ID() + i) % g.N(), A: int64(i)})
+			}
+			r.Route(c, out)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds[alpha] = res.Rounds
+		words[alpha] = res.MaxPeakWords()
+	}
+	// Lemma A.2: α trades rounds (×α²) for space (÷α).
+	if rounds[4] <= rounds[1] {
+		t.Fatalf("α=4 rounds %d should exceed α=1 rounds %d", rounds[4], rounds[1])
+	}
+	if words[4] >= words[1] {
+		t.Fatalf("α=4 peak %d should undercut α=1 peak %d", words[4], words[1])
+	}
+}
+
+func TestEmbeddingWordsFormula(t *testing.T) {
+	g := graph.Star(17)
+	r := NewRouter(g, 4)
+	hub := r.EmbeddingWords(0)
+	leaf := r.EmbeddingWords(1)
+	if hub <= leaf {
+		t.Fatal("hub embedding must exceed leaf's")
+	}
+	r1 := NewRouter(g, 1)
+	if r1.EmbeddingWords(0) <= hub {
+		t.Fatal("α must shrink the embedding")
+	}
+}

@@ -1,0 +1,227 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Gnp samples an Erdős–Rényi random graph G(n,p). The paper's clique
+// lower bound (Theorem 1.1) and listing benches use G(n,1/2).
+func Gnp(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.addEdge(u, v)
+			}
+		}
+	}
+	g.sortAdj()
+	return g
+}
+
+// GnpConnected samples G(n,p) graphs until a connected one appears
+// (panicking after 1000 attempts, far beyond need for p above the
+// connectivity threshold).
+func GnpConnected(n int, p float64, rng *rand.Rand) *Graph {
+	for i := 0; i < 1000; i++ {
+		g := Gnp(n, p, rng)
+		if g.Connected() {
+			return g
+		}
+	}
+	panic(fmt.Sprintf("graph: could not sample connected G(%d,%g)", n, p))
+}
+
+// CycleOfCliques builds the Theorem 1.4 lower-bound instance: k cliques
+// of size s connected in a cycle through their 0-th members. The total
+// node count is k·s; Δ = s+1 at the connector nodes.
+func CycleOfCliques(k, s int) *Graph {
+	if k < 3 || s < 2 {
+		panic("graph: CycleOfCliques needs k ≥ 3 cliques of size ≥ 2")
+	}
+	g := New(k * s)
+	for i := 0; i < k; i++ {
+		base := i * s
+		for a := 0; a < s; a++ {
+			for b := a + 1; b < s; b++ {
+				g.addEdge(base+a, base+b)
+			}
+		}
+		next := ((i + 1) % k) * s
+		g.addEdge(base, next)
+	}
+	g.sortAdj()
+	return g
+}
+
+// Star builds a star on n nodes with center 0: the extreme max-degree
+// topology used for the streaming-simulator workloads.
+func Star(n int) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.addEdge(0, v)
+	}
+	g.sortAdj()
+	return g
+}
+
+// HubAndBlob builds a graph with a designated max-degree hub (node 0)
+// adjacent to all others, plus a G(n-1, p) graph among the others. The
+// p-pass streaming simulation picks the hub as simulator.
+func HubAndBlob(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for v := 1; v < n; v++ {
+		g.addEdge(0, v)
+	}
+	for u := 1; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.addEdge(u, v)
+			}
+		}
+	}
+	g.sortAdj()
+	return g
+}
+
+// RandomRegular samples a d-regular graph on n nodes via the pairing
+// model followed by random edge-switch repair of self-loops and
+// multi-edges (rejection alone is hopeless beyond small d). n·d must
+// be even and d < n.
+func RandomRegular(n, d int, rng *rand.Rand) *Graph {
+	if n*d%2 != 0 {
+		panic("graph: RandomRegular requires n·d even")
+	}
+	if d >= n {
+		panic("graph: RandomRegular requires d < n")
+	}
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	type pair struct{ a, b int }
+	pairs := make([]pair, 0, n*d/2)
+	for i := 0; i < len(stubs); i += 2 {
+		pairs = append(pairs, pair{stubs[i], stubs[i+1]})
+	}
+	count := func(u, v int) int {
+		k := 0
+		for _, p := range pairs {
+			if (p.a == u && p.b == v) || (p.a == v && p.b == u) {
+				k++
+			}
+		}
+		return k
+	}
+	bad := func(p pair) bool { return p.a == p.b || count(p.a, p.b) > 1 }
+	for guard := 0; guard < 200*n*d; guard++ {
+		i := -1
+		for j, p := range pairs {
+			if bad(p) {
+				i = j
+				break
+			}
+		}
+		if i < 0 {
+			g := New(n)
+			for _, p := range pairs {
+				g.addEdge(p.a, p.b)
+			}
+			g.sortAdj()
+			return g
+		}
+		j := rng.Intn(len(pairs))
+		if j == i {
+			continue
+		}
+		pi, pj := pairs[i], pairs[j]
+		pairs[i], pairs[j] = pair{pi.a, pj.b}, pair{pj.a, pi.b}
+	}
+	panic("graph: RandomRegular switch repair did not converge")
+}
+
+// Path builds the n-node path 0-1-...-(n-1); the extreme-diameter
+// topology for aggregation tests.
+func Path(n int) *Graph {
+	g := New(n)
+	for v := 0; v+1 < n; v++ {
+		g.addEdge(v, v+1)
+	}
+	g.sortAdj()
+	return g
+}
+
+// Cycle builds the n-node cycle.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: Cycle needs n ≥ 3")
+	}
+	g := New(n)
+	for v := 0; v < n; v++ {
+		g.addEdge(v, (v+1)%n)
+	}
+	g.sortAdj()
+	return g
+}
+
+// BarbellExpanders joins two G(s, p) blobs by a single bridge edge:
+// a standard low-conductance instance for expander-decomposition tests.
+func BarbellExpanders(s int, p float64, rng *rand.Rand) *Graph {
+	g := New(2 * s)
+	for u := 0; u < s; u++ {
+		for v := u + 1; v < s; v++ {
+			if rng.Float64() < p {
+				g.addEdge(u, v)
+			}
+			if rng.Float64() < p {
+				g.addEdge(s+u, s+v)
+			}
+		}
+	}
+	g.addEdge(0, s)
+	g.sortAdj()
+	return g
+}
+
+// ColoredGnp samples G(n,p) and assigns each edge a color in [1,c]
+// according to weights (nil means uniform). It returns the graph and a
+// map from edge to color, the input for monochromatic-triangle
+// statistics (§1.2.2).
+func ColoredGnp(n int, p float64, c int, weights []float64, rng *rand.Rand) (*Graph, map[[2]int]int64) {
+	g := Gnp(n, p, rng)
+	colors := make(map[[2]int]int64, g.M())
+	var cum []float64
+	if weights != nil {
+		if len(weights) != c {
+			panic("graph: ColoredGnp weights length must equal c")
+		}
+		cum = make([]float64, c)
+		s := 0.0
+		for i, w := range weights {
+			s += w
+			cum[i] = s
+		}
+		for i := range cum {
+			cum[i] /= s
+		}
+	}
+	for _, e := range g.Edges() {
+		var col int64
+		if cum == nil {
+			col = int64(rng.Intn(c)) + 1
+		} else {
+			x := rng.Float64()
+			lo := 0
+			for lo < c-1 && cum[lo] < x {
+				lo++
+			}
+			col = int64(lo) + 1
+		}
+		colors[[2]int{e.U, e.V}] = col
+	}
+	return g, colors
+}

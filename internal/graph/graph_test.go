@@ -1,0 +1,211 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEdgesBasics(t *testing.T) {
+	g, err := FromEdges(4, []Edge{{U: 0, V: 1}, {U: 2, V: 1}, {U: 3, V: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.M() != 3 {
+		t.Fatalf("n=%d m=%d", g.N(), g.M())
+	}
+	if !g.HasEdge(1, 2) || !g.HasEdge(2, 1) {
+		t.Fatal("missing edge 1-2")
+	}
+	if g.HasEdge(1, 3) {
+		t.Fatal("phantom edge 1-3")
+	}
+	if g.Degree(0) != 2 || g.Degree(3) != 1 {
+		t.Fatal("bad degrees")
+	}
+}
+
+func TestFromEdgesRejectsBad(t *testing.T) {
+	if _, err := FromEdges(3, []Edge{{U: 1, V: 1}}); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+	if _, err := FromEdges(3, []Edge{{U: 0, V: 1}, {U: 1, V: 0}}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := FromEdges(3, []Edge{{U: 0, V: 5}}); err == nil {
+		t.Fatal("out of range accepted")
+	}
+}
+
+func TestGnpAdjacencySymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := Gnp(60, 0.3, rng)
+	for v := 0; v < g.N(); v++ {
+		for _, u := range g.Neighbors(v) {
+			if !g.HasEdge(u, v) {
+				t.Fatalf("asymmetric adjacency %d-%d", v, u)
+			}
+		}
+	}
+	// Edge count should be near p·C(n,2) = 531.
+	if g.M() < 350 || g.M() > 720 {
+		t.Fatalf("G(60,0.3) edge count %d implausible", g.M())
+	}
+}
+
+func TestCycleOfCliquesShape(t *testing.T) {
+	k, s := 5, 6
+	g := CycleOfCliques(k, s)
+	if g.N() != k*s {
+		t.Fatalf("n=%d", g.N())
+	}
+	wantM := k*(s*(s-1)/2) + k
+	if g.M() != wantM {
+		t.Fatalf("m=%d want %d", g.M(), wantM)
+	}
+	// Connector nodes have degree s+1 (wait: s-1 inside + 2 cycle edges).
+	if g.Degree(0) != s+1 {
+		t.Fatalf("connector degree %d want %d", g.Degree(0), s+1)
+	}
+	if g.Degree(1) != s-1 {
+		t.Fatalf("inner degree %d want %d", g.Degree(1), s-1)
+	}
+	if !g.Connected() {
+		t.Fatal("disconnected")
+	}
+}
+
+func TestStarAndPathAndCycle(t *testing.T) {
+	s := Star(7)
+	if s.Degree(0) != 6 || s.M() != 6 {
+		t.Fatal("star shape")
+	}
+	p := Path(5)
+	if p.Diameter() != 4 {
+		t.Fatalf("path diameter %d", p.Diameter())
+	}
+	c := Cycle(8)
+	if c.Diameter() != 4 {
+		t.Fatalf("cycle diameter %d", c.Diameter())
+	}
+	for v := 0; v < 8; v++ {
+		if c.Degree(v) != 2 {
+			t.Fatal("cycle degree")
+		}
+	}
+}
+
+func TestRandomRegular(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := RandomRegular(20, 4, rng)
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("node %d degree %d", v, g.Degree(v))
+		}
+	}
+	if g.M() != 40 {
+		t.Fatalf("m=%d", g.M())
+	}
+}
+
+func TestHubAndBlob(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := HubAndBlob(30, 0.2, rng)
+	if g.Degree(0) != 29 {
+		t.Fatalf("hub degree %d", g.Degree(0))
+	}
+	if g.MaxDegree() != 29 {
+		t.Fatal("hub must be max degree")
+	}
+}
+
+func TestSubgraph(t *testing.T) {
+	g, _ := FromEdges(5, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}, {U: 0, V: 4}})
+	sub, orig := g.Subgraph(map[int]bool{1: true, 2: true, 3: true})
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("sub n=%d m=%d", sub.N(), sub.M())
+	}
+	if orig[0] != 1 || orig[2] != 3 {
+		t.Fatalf("orig mapping %v", orig)
+	}
+}
+
+func TestDiameterDisconnected(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1)
+	g.Finish()
+	if g.Diameter() != -1 {
+		t.Fatal("disconnected diameter must be -1")
+	}
+	if g.Connected() {
+		t.Fatal("connected misreport")
+	}
+}
+
+func TestBarbellLowConductance(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g := BarbellExpanders(20, 0.5, rng)
+	if !g.Connected() {
+		t.Fatal("barbell disconnected")
+	}
+	// Exactly one edge crosses the two halves.
+	cross := 0
+	for _, e := range g.Edges() {
+		if (e.U < 20) != (e.V < 20) {
+			cross++
+		}
+	}
+	if cross != 1 {
+		t.Fatalf("cross edges %d want 1", cross)
+	}
+}
+
+func TestColoredGnp(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, colors := ColoredGnp(40, 0.3, 5, []float64{10, 1, 1, 1, 1}, rng)
+	if len(colors) != g.M() {
+		t.Fatalf("colors %d edges %d", len(colors), g.M())
+	}
+	count1 := 0
+	for _, c := range colors {
+		if c < 1 || c > 5 {
+			t.Fatalf("color %d out of range", c)
+		}
+		if c == 1 {
+			count1++
+		}
+	}
+	if float64(count1) < 0.5*float64(g.M()) {
+		t.Fatalf("heavy color underrepresented: %d of %d", count1, g.M())
+	}
+}
+
+// Property: every sampled G(n,p) has sorted, symmetric, self-loop-free
+// adjacency and consistent m.
+func TestGnpInvariants(t *testing.T) {
+	f := func(seed int64, nRaw uint8, pRaw uint8) bool {
+		n := int(nRaw%40) + 2
+		p := float64(pRaw%100) / 100.0
+		g := Gnp(n, p, rand.New(rand.NewSource(seed)))
+		deg := 0
+		for v := 0; v < n; v++ {
+			a := g.Neighbors(v)
+			deg += len(a)
+			for i, u := range a {
+				if u == v {
+					return false
+				}
+				if i > 0 && a[i-1] >= u {
+					return false
+				}
+				if !g.HasEdge(u, v) {
+					return false
+				}
+			}
+		}
+		return deg == 2*g.M()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package matching provides bipartite perfect matching and the
+// Birkhoff–von Neumann decomposition of doubly "stochastic" integer
+// matrices into permutation matrices, the scheduling core of the
+// paper's random-order stream simulation (Theorem 1.5): a Δ×Δ matrix
+// whose rows and columns all sum to n decomposes into permutation
+// matrices with multiplicities summing to n, giving a congestion-free
+// per-round transmission schedule.
+package matching
+
+import "fmt"
+
+// PerfectMatching finds a perfect matching in a bipartite graph on
+// [0,n)×[0,n) given by the support adjacency adj (adj[i] lists the
+// right-vertices available to left-vertex i), using Kuhn's augmenting
+// path algorithm. Returns match[i] = the right vertex matched to left
+// i, or an error if no perfect matching exists.
+func PerfectMatching(n int, adj [][]int) ([]int, error) {
+	matchL := make([]int, n) // left i -> right
+	matchR := make([]int, n) // right j -> left
+	for i := range matchL {
+		matchL[i] = -1
+		matchR[i] = -1
+	}
+	visited := make([]bool, n)
+	var try func(i int) bool
+	try = func(i int) bool {
+		for _, j := range adj[i] {
+			if visited[j] {
+				continue
+			}
+			visited[j] = true
+			if matchR[j] == -1 || try(matchR[j]) {
+				matchL[i] = j
+				matchR[j] = i
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < n; i++ {
+		for k := range visited {
+			visited[k] = false
+		}
+		if !try(i) {
+			return nil, fmt.Errorf("matching: no perfect matching covers left vertex %d", i)
+		}
+	}
+	return matchL, nil
+}
+
+// Permutation is one term of a Birkhoff decomposition: the permutation
+// P (as dest-per-source mapping) repeated Count times.
+type Permutation struct {
+	Perm  []int // Perm[j] = row i such that P[i][j] = 1
+	Count int64
+}
+
+// Birkhoff decomposes a non-negative integer matrix B whose rows and
+// columns all sum to the same value s into at most Δ²−2Δ+2 permutation
+// matrices with positive integer multiplicities summing to s
+// (Birkhoff's theorem [9] applied to B/s). Each round of the resulting
+// schedule moves exactly one unit along each row and column — the
+// congestion-free property Theorem 1.5 needs.
+func Birkhoff(B [][]int64) ([]Permutation, error) {
+	n := len(B)
+	if n == 0 {
+		return nil, nil
+	}
+	// Validate equal row/column sums.
+	var s int64
+	for j := range B[0] {
+		s += B[0][j]
+	}
+	colSum := make([]int64, n)
+	for i := range B {
+		var rs int64
+		if len(B[i]) != n {
+			return nil, fmt.Errorf("matching: B not square")
+		}
+		for j := range B[i] {
+			if B[i][j] < 0 {
+				return nil, fmt.Errorf("matching: negative entry B[%d][%d]", i, j)
+			}
+			rs += B[i][j]
+			colSum[j] += B[i][j]
+		}
+		if rs != s {
+			return nil, fmt.Errorf("matching: row %d sums %d, want %d", i, rs, s)
+		}
+	}
+	for j, cs := range colSum {
+		if cs != s {
+			return nil, fmt.Errorf("matching: column %d sums %d, want %d", j, cs, s)
+		}
+	}
+	// Work on a copy.
+	W := make([][]int64, n)
+	for i := range B {
+		W[i] = append([]int64(nil), B[i]...)
+	}
+	var out []Permutation
+	remaining := s
+	for remaining > 0 {
+		// Support graph: left = columns (sources), right = rows (dests).
+		adj := make([][]int, n)
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				if W[i][j] > 0 {
+					adj[j] = append(adj[j], i)
+				}
+			}
+		}
+		m, err := PerfectMatching(n, adj)
+		if err != nil {
+			return nil, fmt.Errorf("matching: Birkhoff stalled with %d remaining: %w", remaining, err)
+		}
+		gamma := remaining
+		for j := 0; j < n; j++ {
+			if W[m[j]][j] < gamma {
+				gamma = W[m[j]][j]
+			}
+		}
+		for j := 0; j < n; j++ {
+			W[m[j]][j] -= gamma
+		}
+		out = append(out, Permutation{Perm: m, Count: gamma})
+		remaining -= gamma
+	}
+	return out, nil
+}
+
+// Reconstruct rebuilds the matrix Σ Count·P from a decomposition (for
+// verification).
+func Reconstruct(n int, perms []Permutation) [][]int64 {
+	B := make([][]int64, n)
+	for i := range B {
+		B[i] = make([]int64, n)
+	}
+	for _, p := range perms {
+		for j, i := range p.Perm {
+			B[i][j] += p.Count
+		}
+	}
+	return B
+}

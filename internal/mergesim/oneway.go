@@ -1,0 +1,280 @@
+// Package mergesim implements Section 3.1: network-wide simulation of
+// mergeable streaming algorithms in μ-CONGEST.
+//
+//   - One-way mergeable (Theorem 1.6): the tree is cut into O(√(|I|/M))
+//     clusters of ≈ s = √(|I|·M) information each; every cluster leader
+//     summarizes its cluster's items (A2), and all summaries converge to
+//     the root, which folds them one-way (A1) into the main summary.
+//   - Fully mergeable (Theorem 1.7): level-synchronous hierarchical
+//     pairwise merging up the BFS tree, with the final per-node stage
+//     collecting up to μ/(2M) summaries at once — realizing the
+//     M·log(Δ/(μ/M)) per-level cost. (Documented deviation, DESIGN.md:
+//     the paper recurses on information-centroids for log|I| depth; we
+//     recurse on BFS levels, identical on the low-diameter workloads.)
+//   - Composable (Theorem 1.8): same levels, but children stream their
+//     serialized words in parallel and the parent folds word-by-word
+//     (Definition 3.3), collapsing each level to M+O(1) rounds.
+package mergesim
+
+import (
+	"math"
+
+	"mucongest/internal/congest"
+	"mucongest/internal/sim"
+	"mucongest/internal/stream"
+)
+
+const (
+	kindItem int32 = congest.KindUser + 32 + iota
+	kindItemDone
+	kindItemCredit
+	kindSumWord
+	kindSumDone
+	kindFinish2
+	kindWeight
+	kindCluster
+	kindRole
+	kindMergeWord
+)
+
+// OneWayProgram returns the Theorem 1.6 node program. items[v] is node
+// v's input multiset I_v; kind supplies the one-way mergeable summary.
+// The root (node `root`) emits the final summary's serialized words.
+func OneWayProgram(items [][]int64, kind stream.Kind, root, maxDepth int) func(*sim.Ctx) {
+	return func(c *sim.Ctx) {
+		tr := congest.BuildBFSTree(c, root, maxDepth)
+		mine := items[c.ID()]
+		tv := int64(len(mine))
+
+		// Subtree weights and |I|.
+		W := congest.Convergecast(c, tr, maxDepth, []int64{tv}, congest.OpSum)[0]
+		// Learn children's subtree weights (one extra round).
+		if tr.Parent >= 0 {
+			c.SendID(tr.Parent, sim.Msg{Kind: kindWeight, A: W})
+		}
+		childW := make(map[int]int64, len(tr.Children))
+		for _, m := range c.Tick() {
+			if m.Msg.Kind == kindWeight {
+				childW[m.From] = m.Msg.A
+			}
+		}
+		totalI := congest.BroadcastDown(c, tr, maxDepth, 1, []int64{W})[0]
+		M := int64(kind.M())
+		s := int64(math.Sqrt(float64(totalI) * float64(M)))
+		if s < 1 {
+			s = 1
+		}
+
+		// Leaders: minimal subtrees of weight ≥ s, plus the root.
+		isLeader := c.ID() == root
+		if W >= s {
+			heavyChild := false
+			for _, w := range childW {
+				if w >= s {
+					heavyChild = true
+				}
+			}
+			if !heavyChild {
+				isLeader = true
+			}
+		}
+		// Cluster flood: each node learns its leader (depth-pipelined).
+		myLeader := -1
+		if isLeader {
+			myLeader = c.ID()
+		}
+		for r := 0; r < maxDepth+2; r++ {
+			if myLeader >= 0 && r == tr.Depth {
+				for _, ch := range tr.Children {
+					c.SendID(ch, sim.Msg{Kind: kindCluster, A: int64(myLeader)})
+				}
+			}
+			for _, m := range c.Tick() {
+				if m.Msg.Kind == kindCluster && myLeader < 0 {
+					myLeader = int(m.Msg.A)
+				}
+			}
+		}
+
+		// Stream items to leaders (A2 at each leader).
+		var summary stream.Summary
+		if isLeader {
+			summary = kind.New()
+			c.Charge(M)
+			defer c.Release(M)
+		}
+		gatherItems(c, tr, maxDepth, isLeader, mine, summary)
+
+		// Converge leader summaries to the root; fold one-way (A1).
+		mainWords := gatherSummaries(c, tr, maxDepth, isLeader, summary, kind, root)
+		if c.ID() == root {
+			c.Emit(mainWords)
+		}
+	}
+}
+
+// gatherItems pipelines every node's items to its cluster leader with
+// credit flow control; leaders Insert arriving items. Termination:
+// DONE converges to the root, which floods a FINISH countdown.
+func gatherItems(c *sim.Ctx, tr *congest.Tree, maxDepth int,
+	isLeader bool, mine []int64, summary stream.Summary) {
+
+	queue := append([]int64(nil), mine...)
+	if isLeader {
+		for _, x := range mine {
+			summary.Insert(x)
+		}
+		queue = nil
+	}
+	c.Charge(int64(len(queue) + 2*len(tr.Children) + 8))
+	defer c.Release(int64(len(queue) + 2*len(tr.Children) + 8))
+	childDone := make(map[int]bool, len(tr.Children))
+	outstanding := make(map[int]int, len(tr.Children))
+	credits := 0
+	doneSent := false
+	queueCap := 2*len(tr.Children) + 4
+	isRoot := tr.Parent < 0
+
+	for {
+		if !isRoot {
+			switch {
+			case len(queue) > 0 && credits > 0:
+				x := queue[0]
+				queue = queue[1:]
+				credits--
+				c.SendID(tr.Parent, sim.Msg{Kind: kindItem, A: x})
+			case len(queue) == 0 && !doneSent && len(childDone) == len(tr.Children):
+				doneSent = true
+				c.SendID(tr.Parent, sim.Msg{Kind: kindItemDone})
+			}
+		}
+		space := queueCap - len(queue)
+		if isLeader {
+			space = len(tr.Children)
+		}
+		for _, ch := range tr.Children {
+			if space <= 0 {
+				break
+			}
+			if !childDone[ch] && outstanding[ch] < 2 {
+				outstanding[ch]++
+				space--
+				c.SendID(ch, sim.Msg{Kind: kindItemCredit})
+			}
+		}
+		if isRoot && len(childDone) == len(tr.Children) && len(queue) == 0 {
+			for _, ch := range tr.Children {
+				c.SendID(ch, sim.Msg{Kind: kindFinish2, A: int64(maxDepth)})
+			}
+			c.Idle(maxDepth + 1)
+			return
+		}
+		for _, m := range c.Tick() {
+			switch m.Msg.Kind {
+			case kindItem:
+				outstanding[m.From]--
+				if isLeader {
+					summary.Insert(m.Msg.A)
+				} else {
+					queue = append(queue, m.Msg.A)
+				}
+			case kindItemDone:
+				childDone[m.From] = true
+			case kindItemCredit:
+				credits++
+			case kindFinish2:
+				finishDown(c, tr, int(m.Msg.A))
+				return
+			}
+		}
+	}
+}
+
+// gatherSummaries streams every leader's serialized summary up the tree
+// (FIFO relays, words tagged with the leader id); the root reassembles
+// arriving summaries and folds each completed one into the main summary
+// via the one-way merge. Returns the main summary's words at the root.
+func gatherSummaries(c *sim.Ctx, tr *congest.Tree, maxDepth int,
+	isLeader bool, summary stream.Summary, kind stream.Kind, root int) []int64 {
+
+	type word struct{ leader, idx, val int64 }
+	var queue []word
+	M := kind.M()
+	if isLeader && c.ID() != root {
+		ws := summary.Words()
+		for i, w := range ws {
+			queue = append(queue, word{int64(c.ID()), int64(i), w})
+		}
+	}
+	var main stream.OneWayMergeable
+	partial := map[int64][]int64{}
+	gotWords := map[int64]int{}
+	if c.ID() == root {
+		if summary == nil {
+			summary = kind.New()
+		}
+		main = summary.(stream.OneWayMergeable)
+	}
+	c.Charge(int64(len(queue) + 8))
+	defer c.Release(int64(len(queue) + 8))
+	childDone := make(map[int]bool, len(tr.Children))
+	doneSent := false
+
+	for {
+		if tr.Parent >= 0 {
+			switch {
+			case len(queue) > 0:
+				w := queue[0]
+				queue = queue[1:]
+				c.SendID(tr.Parent, sim.Msg{Kind: kindSumWord, A: w.leader, B: w.idx, C: w.val})
+			case !doneSent && len(childDone) == len(tr.Children):
+				doneSent = true
+				c.SendID(tr.Parent, sim.Msg{Kind: kindSumDone})
+			}
+		}
+		if c.ID() == root && len(childDone) == len(tr.Children) {
+			for _, ch := range tr.Children {
+				c.SendID(ch, sim.Msg{Kind: kindFinish2, A: int64(maxDepth)})
+			}
+			c.Idle(maxDepth + 1)
+			return main.Words()
+		}
+		for _, m := range c.Tick() {
+			switch m.Msg.Kind {
+			case kindSumWord:
+				if c.ID() == root {
+					l := m.Msg.A
+					if partial[l] == nil {
+						partial[l] = make([]int64, M)
+						c.Charge(int64(M))
+					}
+					partial[l][m.Msg.B] = m.Msg.C
+					gotWords[l]++
+					if gotWords[l] == M {
+						main.MergeFrom(partial[l])
+						delete(partial, l)
+						delete(gotWords, l)
+						c.Release(int64(M))
+					}
+				} else {
+					queue = append(queue, word{m.Msg.A, m.Msg.B, m.Msg.C})
+				}
+			case kindSumDone:
+				childDone[m.From] = true
+			case kindFinish2:
+				finishDown(c, tr, int(m.Msg.A))
+				return nil
+			}
+		}
+	}
+}
+
+func finishDown(c *sim.Ctx, tr *congest.Tree, ttl int) {
+	if ttl <= 0 {
+		return
+	}
+	for _, ch := range tr.Children {
+		c.SendID(ch, sim.Msg{Kind: kindFinish2, A: int64(ttl - 1)})
+	}
+	c.Idle(ttl)
+}

@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Ctx is a node's handle to the simulation: its identity, topology view,
+// messaging, memory meter, output channel and RNG. A Ctx is owned by the
+// node goroutine and must not be shared.
+type Ctx struct {
+	eng *Engine
+	id  int
+	nbr []int       // neighbor ids (topology knowledge, free per the model)
+	prt map[int]int // neighbor id -> port
+	rng *rand.Rand
+
+	outbox []routed
+	sent   map[int]int // port -> messages sent this round
+}
+
+func newCtx(e *Engine, id int) *Ctx {
+	nbr := e.topo.Neighbors(id)
+	prt := make(map[int]int, len(nbr))
+	for p, u := range nbr {
+		prt[u] = p
+	}
+	return &Ctx{
+		eng:  e,
+		id:   id,
+		nbr:  nbr,
+		prt:  prt,
+		rng:  rand.New(rand.NewSource(e.seed*1_000_003 + int64(id))),
+		sent: make(map[int]int),
+	}
+}
+
+// ID returns this node's id in 0..N-1.
+func (c *Ctx) ID() int { return c.id }
+
+// N returns the number of nodes in the network.
+func (c *Ctx) N() int { return c.eng.n }
+
+// Mu returns the memory bound μ in words (≤ 0 when unbounded).
+func (c *Ctx) Mu() int64 { return c.eng.mu }
+
+// Degree returns the number of neighbors.
+func (c *Ctx) Degree() int { return len(c.nbr) }
+
+// Neighbors returns this node's neighbor ids. The slice must not be
+// modified.
+func (c *Ctx) Neighbors() []int { return c.nbr }
+
+// Neighbor returns the id of the neighbor on the given port.
+func (c *Ctx) Neighbor(port int) int { return c.nbr[port] }
+
+// PortOf returns the port of neighbor id, or -1 if id is not adjacent.
+func (c *Ctx) PortOf(id int) int {
+	if p, ok := c.prt[id]; ok {
+		return p
+	}
+	return -1
+}
+
+// Rand returns this node's deterministic private RNG.
+func (c *Ctx) Rand() *rand.Rand { return c.rng }
+
+// Round returns the number of Tick calls this node has performed.
+func (c *Ctx) Round() int { return c.eng.nodes[c.id].ticks }
+
+// Send queues one message to the neighbor on port for delivery at the
+// start of the next round. It panics if the per-edge bandwidth cap is
+// exceeded within the current round.
+func (c *Ctx) Send(port int, m Msg) {
+	if c.sent[port] >= c.eng.edgeCap {
+		panic(fmt.Sprintf("sim: node %d exceeded edge capacity %d to port %d in one round",
+			c.id, c.eng.edgeCap, port))
+	}
+	c.sent[port]++
+	c.outbox = append(c.outbox, routed{from: c.id, to: c.nbr[port], msg: m})
+}
+
+// SendID queues one message to the adjacent node with the given id.
+func (c *Ctx) SendID(id int, m Msg) {
+	p := c.PortOf(id)
+	if p < 0 {
+		panic(fmt.Sprintf("sim: node %d attempted to send to non-neighbor %d", c.id, id))
+	}
+	c.Send(p, m)
+}
+
+// Broadcast queues one copy of m to every neighbor.
+func (c *Ctx) Broadcast(m Msg) {
+	for p := range c.nbr {
+		c.Send(p, m)
+	}
+}
+
+// Tick ends the node's current round: queued messages are handed to the
+// engine, the node blocks until every node reaches the barrier, and the
+// messages that arrived are returned. The returned inbox counts toward
+// the node's memory until it drops the slice.
+func (c *Ctx) Tick() []Incoming {
+	rt := c.eng.nodes[c.id]
+	rt.ticks++
+	c.eng.done <- signal{id: c.id, outbox: c.takeOutbox()}
+	in := <-rt.resume
+	if c.eng.aborted {
+		panic(errAbort)
+	}
+	return in
+}
+
+// Idle performs k rounds with no sends, discarding any received
+// messages.
+func (c *Ctx) Idle(k int) {
+	for i := 0; i < k; i++ {
+		c.Tick()
+	}
+}
+
+// Emit outputs v. Per the μ-CONGEST model, emitted outputs leave the
+// node immediately and consume no memory.
+func (c *Ctx) Emit(v any) {
+	rt := c.eng.nodes[c.id]
+	rt.outputs = append(rt.outputs, v)
+}
+
+// Charge records that the algorithm now holds `words` additional words
+// of memory. Peak usage and μ violations are tracked by the engine.
+func (c *Ctx) Charge(words int64) {
+	rt := c.eng.nodes[c.id]
+	rt.live += words
+	if rt.live > rt.peak {
+		rt.peak = rt.live
+	}
+	if c.eng.mu > 0 && rt.live > c.eng.mu && c.eng.strict {
+		panic(fmt.Sprintf("sim: node %d exceeded μ=%d with %d live words", c.id, c.eng.mu, rt.live))
+	}
+}
+
+// Release returns `words` words to the memory meter.
+func (c *Ctx) Release(words int64) {
+	rt := c.eng.nodes[c.id]
+	rt.live -= words
+	if rt.live < 0 {
+		panic(fmt.Sprintf("sim: node %d released more memory than charged", c.id))
+	}
+}
+
+// Live returns the words currently charged by the algorithm (excluding
+// the in-flight inbox).
+func (c *Ctx) Live() int64 { return c.eng.nodes[c.id].live }
+
+func (c *Ctx) takeOutbox() []routed {
+	out := c.outbox
+	c.outbox = nil
+	for k := range c.sent {
+		delete(c.sent, k)
+	}
+	return out
+}

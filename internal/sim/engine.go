@@ -1,0 +1,302 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Violation records one instance of a node exceeding its memory bound μ.
+type Violation struct {
+	Node  int
+	Round int
+	Words int64 // live words at the moment of the violation
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("node %d exceeded μ at round %d with %d words", v.Node, v.Round, v.Words)
+}
+
+// Result summarizes one simulated execution.
+type Result struct {
+	// Rounds is the number of communication rounds, i.e. the maximum
+	// number of Tick calls performed by any node.
+	Rounds int
+	// Messages is the total number of messages delivered.
+	Messages int64
+	// Dropped counts messages addressed to nodes that had already
+	// terminated.
+	Dropped int64
+	// Outputs holds, per node, the values emitted via Ctx.Emit.
+	Outputs [][]any
+	// PeakWords holds, per node, the peak live memory in words
+	// (algorithm charges plus inbox).
+	PeakWords []int64
+	// Violations lists every observed μ overrun (empty when μ ≤ 0,
+	// i.e. unbounded).
+	Violations []Violation
+}
+
+// MaxPeakWords returns the largest per-node memory peak.
+func (r *Result) MaxPeakWords() int64 {
+	var m int64
+	for _, w := range r.PeakWords {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+// TotalOutputs returns the number of emitted values across all nodes.
+func (r *Result) TotalOutputs() int {
+	t := 0
+	for _, o := range r.Outputs {
+		t += len(o)
+	}
+	return t
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithMu sets the per-node memory bound μ in words. μ ≤ 0 means
+// unbounded (classic CONGEST).
+func WithMu(mu int64) Option { return func(e *Engine) { e.mu = mu } }
+
+// WithSeed seeds the engine and per-node RNGs. Runs with equal seeds and
+// inputs are deterministic.
+func WithSeed(seed int64) Option { return func(e *Engine) { e.seed = seed } }
+
+// WithEdgeCap sets the number of messages allowed per directed edge per
+// round (default 1, the CONGEST bandwidth).
+func WithEdgeCap(c int) Option { return func(e *Engine) { e.edgeCap = c } }
+
+// WithInboxOrder selects how each round's inbox is ordered.
+func WithInboxOrder(o InboxOrder) Option { return func(e *Engine) { e.order = o } }
+
+// WithStrictMemory makes a μ violation abort the run with an error
+// instead of merely being recorded.
+func WithStrictMemory() Option { return func(e *Engine) { e.strict = true } }
+
+// WithMaxRounds bounds the execution length as a runaway guard
+// (default 2,000,000 rounds).
+func WithMaxRounds(r int) Option { return func(e *Engine) { e.maxRounds = r } }
+
+// ErrMaxRounds is returned when the round limit is exceeded.
+var ErrMaxRounds = errors.New("sim: maximum round count exceeded")
+
+// ErrMemory is returned in strict mode when a node exceeds μ.
+var ErrMemory = errors.New("sim: node exceeded memory bound μ")
+
+// Engine executes one program on a topology under μ-CONGEST rules.
+type Engine struct {
+	topo      Topology
+	mu        int64
+	seed      int64
+	edgeCap   int
+	order     InboxOrder
+	strict    bool
+	maxRounds int
+
+	n       int
+	round   int
+	rng     *rand.Rand
+	nodes   []*nodeRT
+	done    chan signal
+	aborted bool
+	runErr  error
+
+	messages int64
+	dropped  int64
+}
+
+type signal struct {
+	id       int
+	finished bool
+	err      error
+	outbox   []routed
+}
+
+type routed struct {
+	from, to int
+	msg      Msg
+}
+
+type nodeRT struct {
+	resume    chan []Incoming
+	inbox     []Incoming
+	live      int64 // words charged by the algorithm
+	peak      int64
+	ticks     int
+	finished  bool
+	outputs   []any
+	violation bool // already recorded a violation this round (dedup)
+}
+
+// New creates an engine over topo. The zero μ (unset WithMu) means
+// unbounded memory.
+func New(topo Topology, opts ...Option) *Engine {
+	e := &Engine{
+		topo:      topo,
+		seed:      1,
+		edgeCap:   1,
+		maxRounds: 2_000_000,
+		n:         topo.N(),
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// Mu returns the configured memory bound (≤ 0 when unbounded).
+func (e *Engine) Mu() int64 { return e.mu }
+
+// N returns the node count.
+func (e *Engine) N() int { return e.n }
+
+// Run executes program on every node and returns the aggregated result.
+// program receives the node's Ctx; returning from program terminates the
+// node. Run returns an error if the round limit was hit, a node
+// panicked, or (in strict mode) μ was violated.
+func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
+	e.rng = rand.New(rand.NewSource(e.seed))
+	e.nodes = make([]*nodeRT, e.n)
+	e.done = make(chan signal, e.n)
+	e.round = 0
+	e.aborted = false
+	e.runErr = nil
+	e.messages = 0
+	e.dropped = 0
+	var violations []Violation
+
+	for i := 0; i < e.n; i++ {
+		e.nodes[i] = &nodeRT{resume: make(chan []Incoming, 1)}
+	}
+	for i := 0; i < e.n; i++ {
+		ctx := newCtx(e, i)
+		go runNode(ctx, program)
+	}
+
+	active := e.n
+	for active > 0 {
+		ticked := make([]int, 0, active)
+		staged := make([]routed, 0)
+		for j := 0; j < active; j++ {
+			s := <-e.done
+			staged = append(staged, s.outbox...)
+			if s.finished {
+				e.nodes[s.id].finished = true
+				if s.err != nil && e.runErr == nil && !errors.Is(s.err, errAbort) {
+					e.runErr = s.err
+					e.aborted = true
+				}
+			} else {
+				ticked = append(ticked, s.id)
+			}
+		}
+		active = len(ticked)
+		e.deliver(staged, &violations)
+		e.round++
+		if e.round > e.maxRounds && active > 0 {
+			e.aborted = true
+			if e.runErr == nil {
+				e.runErr = ErrMaxRounds
+			}
+		}
+		if e.strict && len(violations) > 0 {
+			e.aborted = true
+			if e.runErr == nil {
+				e.runErr = fmt.Errorf("%w: %v", ErrMemory, violations[0])
+			}
+		}
+		sort.Ints(ticked)
+		for _, id := range ticked {
+			rt := e.nodes[id]
+			in := rt.inbox
+			rt.inbox = nil
+			rt.resume <- in
+		}
+	}
+
+	res := &Result{
+		Messages:   e.messages,
+		Dropped:    e.dropped,
+		Outputs:    make([][]any, e.n),
+		PeakWords:  make([]int64, e.n),
+		Violations: violations,
+	}
+	for i, rt := range e.nodes {
+		res.Outputs[i] = rt.outputs
+		res.PeakWords[i] = rt.peak
+		if rt.ticks > res.Rounds {
+			res.Rounds = rt.ticks
+		}
+	}
+	return res, e.runErr
+}
+
+// deliver routes staged messages into inboxes, applies the inbox order,
+// and performs memory accounting for inbox contents.
+func (e *Engine) deliver(staged []routed, violations *[]Violation) {
+	if len(staged) == 0 {
+		return
+	}
+	// Deterministic routing independent of goroutine scheduling.
+	sort.Slice(staged, func(i, j int) bool {
+		if staged[i].to != staged[j].to {
+			return staged[i].to < staged[j].to
+		}
+		return staged[i].from < staged[j].from
+	})
+	for _, m := range staged {
+		rt := e.nodes[m.to]
+		if rt.finished {
+			e.dropped++
+			continue
+		}
+		rt.inbox = append(rt.inbox, Incoming{From: m.from, Msg: m.msg})
+		e.messages++
+	}
+	for id, rt := range e.nodes {
+		if len(rt.inbox) == 0 {
+			continue
+		}
+		switch e.order {
+		case OrderRandom:
+			e.rng.Shuffle(len(rt.inbox), func(i, j int) {
+				rt.inbox[i], rt.inbox[j] = rt.inbox[j], rt.inbox[i]
+			})
+		case OrderReversed:
+			for i, j := 0, len(rt.inbox)-1; i < j; i, j = i+1, j-1 {
+				rt.inbox[i], rt.inbox[j] = rt.inbox[j], rt.inbox[i]
+			}
+		}
+		total := rt.live + int64(len(rt.inbox))*MsgWords
+		if total > rt.peak {
+			rt.peak = total
+		}
+		if e.mu > 0 && total > e.mu {
+			*violations = append(*violations, Violation{Node: id, Round: e.round, Words: total})
+		}
+	}
+}
+
+var errAbort = errors.New("sim: run aborted")
+
+func runNode(ctx *Ctx, program func(*Ctx)) {
+	defer func() {
+		var err error
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && errors.Is(e, errAbort) {
+				err = errAbort
+			} else {
+				err = fmt.Errorf("sim: node %d panicked: %v", ctx.id, r)
+			}
+		}
+		ctx.eng.done <- signal{id: ctx.id, finished: true, err: err, outbox: ctx.takeOutbox()}
+	}()
+	program(ctx)
+}

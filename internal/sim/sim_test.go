@@ -1,0 +1,377 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// pathTopo is a minimal topology for tests: a path 0-1-...-(n-1).
+type pathTopo struct {
+	n   int
+	adj [][]int
+}
+
+func newPath(n int) *pathTopo {
+	t := &pathTopo{n: n, adj: make([][]int, n)}
+	for v := 0; v < n; v++ {
+		if v > 0 {
+			t.adj[v] = append(t.adj[v], v-1)
+		}
+		if v+1 < n {
+			t.adj[v] = append(t.adj[v], v+1)
+		}
+	}
+	return t
+}
+
+func (t *pathTopo) N() int                { return t.n }
+func (t *pathTopo) Neighbors(v int) []int { return t.adj[v] }
+
+func TestTokenPassingRounds(t *testing.T) {
+	// Pass a token from node 0 to node n-1 along a path; takes n-1 rounds.
+	n := 10
+	e := New(newPath(n))
+	res, err := e.Run(func(c *Ctx) {
+		if c.ID() == 0 {
+			c.SendID(1, Msg{Kind: 7, A: 42})
+		}
+		for {
+			in := c.Tick()
+			if len(in) == 0 {
+				if c.Round() >= n {
+					return
+				}
+				continue
+			}
+			for _, m := range in {
+				if m.Msg.Kind == 7 {
+					if c.ID() == n-1 {
+						c.Emit(m.Msg.A)
+						return
+					}
+					if m.From == c.ID()-1 {
+						c.SendID(c.ID()+1, m.Msg)
+					}
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Outputs[n-1]; len(got) != 1 || got[0].(int64) != 42 {
+		t.Fatalf("token not delivered: %v", got)
+	}
+	if res.Rounds < n-1 {
+		t.Fatalf("token arrived in %d rounds, need ≥ %d", res.Rounds, n-1)
+	}
+}
+
+func TestBroadcastAllReceive(t *testing.T) {
+	topo := NewComplete(8)
+	e := New(topo, WithSeed(3))
+	res, err := e.Run(func(c *Ctx) {
+		c.Broadcast(Msg{A: int64(c.ID())})
+		in := c.Tick()
+		if len(in) != c.N()-1 {
+			c.Emit(-1)
+			return
+		}
+		sum := int64(0)
+		for _, m := range in {
+			sum += m.Msg.A
+		}
+		c.Emit(sum)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, out := range res.Outputs {
+		want := int64(28 - id) // sum 0..7 minus self
+		if out[0].(int64) != want {
+			t.Fatalf("node %d got %v want %d", id, out[0], want)
+		}
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1", res.Rounds)
+	}
+	if res.Messages != 8*7 {
+		t.Fatalf("messages = %d, want 56", res.Messages)
+	}
+}
+
+func TestEdgeCapEnforced(t *testing.T) {
+	e := New(newPath(2))
+	_, err := e.Run(func(c *Ctx) {
+		if c.ID() == 0 {
+			c.Send(0, Msg{})
+			c.Send(0, Msg{}) // second message on same edge, same round
+		}
+		c.Tick()
+	})
+	if err == nil {
+		t.Fatal("expected edge-cap violation error")
+	}
+}
+
+func TestEdgeCapOption(t *testing.T) {
+	e := New(newPath(2), WithEdgeCap(3))
+	res, err := e.Run(func(c *Ctx) {
+		if c.ID() == 0 {
+			for i := 0; i < 3; i++ {
+				c.Send(0, Msg{A: int64(i)})
+			}
+		}
+		in := c.Tick()
+		c.Emit(len(in))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outputs[1][0].(int) != 3 {
+		t.Fatalf("node 1 received %v messages, want 3", res.Outputs[1][0])
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	e := New(newPath(3), WithMu(10))
+	res, err := e.Run(func(c *Ctx) {
+		c.Charge(4)
+		c.Tick()
+		c.Release(4)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("unexpected violations: %v", res.Violations)
+	}
+	for _, p := range res.PeakWords {
+		if p != 4 {
+			t.Fatalf("peak = %d, want 4", p)
+		}
+	}
+}
+
+func TestMemoryViolationRecorded(t *testing.T) {
+	e := New(newPath(3), WithMu(2))
+	res, err := e.Run(func(c *Ctx) {
+		if c.ID() == 1 {
+			// 2 neighbors send -> inbox of 2 words, plus 1 charged word = 3 > μ=2.
+			c.Charge(1)
+		} else {
+			c.SendID(1, Msg{})
+		}
+		c.Tick()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 1 || res.Violations[0].Node != 1 {
+		t.Fatalf("violations = %v, want one at node 1", res.Violations)
+	}
+}
+
+func TestStrictMemoryAborts(t *testing.T) {
+	e := New(newPath(3), WithMu(1), WithStrictMemory())
+	_, err := e.Run(func(c *Ctx) {
+		if c.ID() != 1 {
+			c.SendID(1, Msg{})
+		}
+		c.Tick()
+		c.Tick()
+	})
+	if !errors.Is(err, ErrMemory) {
+		t.Fatalf("err = %v, want ErrMemory", err)
+	}
+}
+
+func TestMaxRoundsGuard(t *testing.T) {
+	e := New(newPath(2), WithMaxRounds(10))
+	_, err := e.Run(func(c *Ctx) {
+		for {
+			c.Tick()
+		}
+	})
+	if !errors.Is(err, ErrMaxRounds) {
+		t.Fatalf("err = %v, want ErrMaxRounds", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() ([]int64, int) {
+		e := New(NewComplete(6), WithSeed(99))
+		res, err := e.Run(func(c *Ctx) {
+			x := c.Rand().Int63n(1000)
+			c.Broadcast(Msg{A: x})
+			in := c.Tick()
+			s := int64(0)
+			for _, m := range in {
+				s += m.Msg.A
+			}
+			c.Emit(s)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int64, 6)
+		for i := range out {
+			out[i] = res.Outputs[i][0].(int64)
+		}
+		return out, res.Rounds
+	}
+	a, ra := run()
+	b, rb := run()
+	if ra != rb {
+		t.Fatalf("rounds differ: %d vs %d", ra, rb)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("output %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestInboxOrders(t *testing.T) {
+	for _, order := range []InboxOrder{OrderBySender, OrderRandom, OrderReversed} {
+		e := New(NewComplete(5), WithInboxOrder(order), WithSeed(7))
+		res, err := e.Run(func(c *Ctx) {
+			c.Broadcast(Msg{A: int64(c.ID())})
+			in := c.Tick()
+			ids := make([]int64, len(in))
+			for i, m := range in {
+				ids[i] = m.Msg.A
+			}
+			c.Emit(ids)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Outputs[0][0].([]int64)
+		if len(got) != 4 {
+			t.Fatalf("order %v: got %d messages", order, len(got))
+		}
+		switch order {
+		case OrderBySender:
+			for i := 1; i < len(got); i++ {
+				if got[i] < got[i-1] {
+					t.Fatalf("OrderBySender not sorted: %v", got)
+				}
+			}
+		case OrderReversed:
+			for i := 1; i < len(got); i++ {
+				if got[i] > got[i-1] {
+					t.Fatalf("OrderReversed not reversed: %v", got)
+				}
+			}
+		}
+	}
+}
+
+func TestDroppedMessagesToFinishedNodes(t *testing.T) {
+	e := New(newPath(3))
+	res, err := e.Run(func(c *Ctx) {
+		if c.ID() == 0 {
+			return // finishes immediately
+		}
+		if c.ID() == 1 {
+			c.SendID(0, Msg{})
+			c.SendID(2, Msg{})
+		}
+		c.Tick()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", res.Dropped)
+	}
+}
+
+func TestNodePanicPropagates(t *testing.T) {
+	e := New(newPath(3))
+	_, err := e.Run(func(c *Ctx) {
+		if c.ID() == 2 {
+			panic("boom")
+		}
+		c.Tick()
+	})
+	if err == nil {
+		t.Fatal("expected panic to surface as error")
+	}
+}
+
+func TestEmitCostsNoMemory(t *testing.T) {
+	e := New(newPath(2), WithMu(1))
+	res, err := e.Run(func(c *Ctx) {
+		for i := 0; i < 100; i++ {
+			c.Emit(i)
+		}
+		c.Tick()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("emitting output must not consume memory: %v", res.Violations)
+	}
+	if res.TotalOutputs() != 200 {
+		t.Fatalf("outputs = %d, want 200", res.TotalOutputs())
+	}
+}
+
+func TestCompleteTopology(t *testing.T) {
+	c := NewComplete(5)
+	if c.N() != 5 {
+		t.Fatal("N")
+	}
+	for v := 0; v < 5; v++ {
+		nb := c.Neighbors(v)
+		if len(nb) != 4 {
+			t.Fatalf("degree %d", len(nb))
+		}
+		for _, u := range nb {
+			if u == v {
+				t.Fatal("self neighbor")
+			}
+		}
+	}
+}
+
+func TestSendToNonNeighborPanics(t *testing.T) {
+	e := New(newPath(3))
+	_, err := e.Run(func(c *Ctx) {
+		if c.ID() == 0 {
+			c.SendID(2, Msg{}) // 2 is not adjacent to 0 on a path
+		}
+		c.Tick()
+	})
+	if err == nil {
+		t.Fatal("expected error for non-neighbor send")
+	}
+}
+
+func TestPortAddressing(t *testing.T) {
+	e := New(newPath(3))
+	res, err := e.Run(func(c *Ctx) {
+		if c.ID() == 1 {
+			if c.PortOf(0) < 0 || c.PortOf(2) < 0 || c.PortOf(1) != -1 {
+				c.Emit("bad ports")
+			}
+			c.Send(c.PortOf(2), Msg{A: 5})
+		}
+		in := c.Tick()
+		if c.ID() == 2 && len(in) == 1 && in[0].Msg.A == 5 {
+			c.Emit("ok")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Outputs[1]) != 0 {
+		t.Fatalf("port sanity failed: %v", res.Outputs[1])
+	}
+	if len(res.Outputs[2]) != 1 {
+		t.Fatal("port-addressed message lost")
+	}
+}

@@ -1,0 +1,42 @@
+package sim
+
+// Topology describes the communication graph the engine runs on. It is
+// satisfied by graph.Graph; the engine only needs the node count and
+// adjacency lists. Adjacency lists must be symmetric: u lists v iff v
+// lists u.
+type Topology interface {
+	// N returns the number of nodes, labeled 0..N-1.
+	N() int
+	// Neighbors returns the neighbor ids of v. The returned slice must
+	// not be modified and must be stable across calls.
+	Neighbors(v int) []int
+}
+
+// Complete is the all-to-all topology of the μ-Congested-Clique model
+// (Section 2.2 of the paper): every pair of nodes shares a communication
+// link regardless of the input graph.
+type Complete struct {
+	n   int
+	adj [][]int
+}
+
+// NewComplete returns the complete topology on n nodes.
+func NewComplete(n int) *Complete {
+	c := &Complete{n: n, adj: make([][]int, n)}
+	for v := 0; v < n; v++ {
+		nb := make([]int, 0, n-1)
+		for u := 0; u < n; u++ {
+			if u != v {
+				nb = append(nb, u)
+			}
+		}
+		c.adj[v] = nb
+	}
+	return c
+}
+
+// N returns the number of nodes.
+func (c *Complete) N() int { return c.n }
+
+// Neighbors returns all nodes other than v.
+func (c *Complete) Neighbors(v int) []int { return c.adj[v] }

@@ -1,0 +1,145 @@
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mucongest/internal/stream"
+)
+
+// Exact is an exact frequency counter used as ground truth in tests and
+// as the trivially fully-mergeable summary for small universes. Its
+// serialized capacity is fixed at construction; exceeding it panics.
+type Exact struct {
+	cap int
+	n   int64
+	cnt map[int64]int64
+}
+
+// ExactKind configures exact counters holding at most Cap distinct
+// labels.
+type ExactKind struct{ Cap int }
+
+// NewExactKind returns a Kind for exact counters of a ≤cap-label
+// universe.
+func NewExactKind(cap int) *ExactKind { return &ExactKind{Cap: cap} }
+
+// New returns an empty counter.
+func (k *ExactKind) New() stream.Summary {
+	return &Exact{cap: k.Cap, cnt: make(map[int64]int64)}
+}
+
+// M returns the serialized size.
+func (k *ExactKind) M() int { return 2 + 2*k.Cap }
+
+// FromWords reconstructs a counter.
+func (k *ExactKind) FromWords(words []int64) stream.Summary {
+	s := k.New().(*Exact)
+	s.n = words[0]
+	for i := 0; i < int(words[1]); i++ {
+		s.cnt[words[2+2*i]] = words[3+2*i]
+	}
+	return s
+}
+
+// SizeWords returns the fixed serialized size.
+func (s *Exact) SizeWords() int { return 2 + 2*s.cap }
+
+// Count returns the processed stream length.
+func (s *Exact) Count() int64 { return s.n }
+
+// Insert processes one label.
+func (s *Exact) Insert(x int64) {
+	s.n++
+	s.cnt[x]++
+	if len(s.cnt) > s.cap {
+		panic(fmt.Sprintf("sketch: Exact exceeded capacity %d", s.cap))
+	}
+}
+
+// Estimate returns the exact frequency.
+func (s *Exact) Estimate(x int64) int64 { return s.cnt[x] }
+
+// Entropy returns the exact empirical Shannon entropy in bits.
+func (s *Exact) Entropy() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	h := 0.0
+	for _, c := range s.cnt {
+		p := float64(c) / float64(s.n)
+		h -= p * math.Log2(p)
+	}
+	return h
+}
+
+// F2 returns the exact second frequency moment.
+func (s *Exact) F2() int64 {
+	var f2 int64
+	for _, c := range s.cnt {
+		f2 += c * c
+	}
+	return f2
+}
+
+// Quantile returns the exact φ-quantile of the multiset.
+func (s *Exact) Quantile(phi float64) int64 {
+	labels := make([]int64, 0, len(s.cnt))
+	for x := range s.cnt {
+		labels = append(labels, x)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	target := int64(phi * float64(s.n))
+	if target >= s.n {
+		target = s.n - 1
+	}
+	var run int64
+	for _, x := range labels {
+		run += s.cnt[x]
+		if run > target {
+			return x
+		}
+	}
+	if len(labels) == 0 {
+		return 0
+	}
+	return labels[len(labels)-1]
+}
+
+// Labels returns the distinct labels sorted.
+func (s *Exact) Labels() []int64 {
+	out := make([]int64, 0, len(s.cnt))
+	for x := range s.cnt {
+		out = append(out, x)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Words serializes: [n, entries, (label,count)*].
+func (s *Exact) Words() []int64 {
+	w := make([]int64, s.SizeWords())
+	w[0] = s.n
+	labels := s.Labels()
+	w[1] = int64(len(labels))
+	for i, x := range labels {
+		w[2+2*i] = x
+		w[3+2*i] = s.cnt[x]
+	}
+	return w
+}
+
+// MergeFrom adds another exact counter.
+func (s *Exact) MergeFrom(words []int64) {
+	s.n += words[0]
+	for i := 0; i < int(words[1]); i++ {
+		s.cnt[words[2+2*i]] += words[3+2*i]
+	}
+	if len(s.cnt) > s.cap {
+		panic(fmt.Sprintf("sketch: Exact exceeded capacity %d", s.cap))
+	}
+}
+
+var _ stream.FullyMergeable = (*Exact)(nil)
+var _ stream.Kind = (*ExactKind)(nil)

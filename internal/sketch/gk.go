@@ -1,0 +1,213 @@
+// Package sketch implements the streaming summaries the paper's
+// applications use: the Greenwald–Khanna quantile summary [41]
+// (one-way mergeable), the Misra–Gries heavy-hitters sketch [64]
+// (fully mergeable), the deterministic CR-Precis sketch [36]
+// (linear, hence composable), plus Count-Min and AMS F2 linear
+// sketches and an exact reference counter for tests.
+package sketch
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mucongest/internal/stream"
+)
+
+type gkTuple struct {
+	v     int64 // value
+	g     int64 // rank gap to previous tuple
+	delta int64 // rank uncertainty
+}
+
+// GK is a Greenwald–Khanna ε-approximate quantile summary. After
+// inserting a stream of n elements, Query(φ) returns a value whose rank
+// is within ε·n of φ·n. It is one-way mergeable (Definition 3.1):
+// incoming summaries are absorbed as weighted tuples, and the error of
+// the main summary stays within ε of the combined stream length for
+// the sequential one-way merging pattern of Theorem 1.6.
+type GK struct {
+	eps float64
+	cap int
+	n   int64
+	t   []gkTuple
+}
+
+// GKKind configures GK summaries: target additive rank error ε and the
+// fixed serialized capacity derived from ε and an upper bound on the
+// total stream length.
+type GKKind struct {
+	Eps  float64
+	MaxN int64
+	cap  int
+}
+
+// NewGKKind returns a Kind producing ε-error quantile summaries sized
+// for streams of up to maxN elements. Internally the summary runs at
+// ε/2 so that one-way merge compounding (Theorem 1.6's sequential
+// merging) stays within the advertised ε.
+func NewGKKind(eps float64, maxN int64) *GKKind {
+	if eps <= 0 || eps >= 1 {
+		panic("sketch: GK requires 0 < ε < 1")
+	}
+	work := eps / 2
+	logTerm := math.Log2(math.Max(2, work*float64(maxN)))
+	c := int(math.Ceil(3.0/work*(logTerm+2))) + 4
+	return &GKKind{Eps: eps, MaxN: maxN, cap: c}
+}
+
+// New returns an empty GK summary.
+func (k *GKKind) New() stream.Summary { return &GK{eps: k.Eps / 2, cap: k.cap} }
+
+// M returns the serialized size in words: 2 header words plus 3 words
+// per tuple slot.
+func (k *GKKind) M() int { return 2 + 3*k.cap }
+
+// FromWords reconstructs a GK summary.
+func (k *GKKind) FromWords(words []int64) stream.Summary {
+	g := &GK{eps: k.Eps / 2, cap: k.cap}
+	g.decode(words)
+	return g
+}
+
+// SizeWords returns the fixed serialized size.
+func (s *GK) SizeWords() int { return 2 + 3*s.cap }
+
+// Count returns the number of inserted elements (including merged
+// streams).
+func (s *GK) Count() int64 { return s.n }
+
+// TupleCount returns the current number of stored tuples (for memory
+// accounting in tests).
+func (s *GK) TupleCount() int { return len(s.t) }
+
+// Insert adds one element.
+func (s *GK) Insert(x int64) {
+	s.insertWeighted(x, 1, s.threshold()-1)
+	s.n++
+	if len(s.t) > s.cap {
+		s.shrink()
+	}
+}
+
+// shrink compresses, escalating the threshold if the standard pass does
+// not reach the capacity (only possible for adversarial tiny-ε
+// configurations; keeps the serialized size invariant).
+func (s *GK) shrink() {
+	s.compress()
+	th := s.threshold()
+	for len(s.t) > s.cap {
+		th *= 2
+		s.compressWith(th)
+	}
+}
+
+func (s *GK) threshold() int64 {
+	th := int64(2 * s.eps * float64(s.n))
+	if th < 1 {
+		th = 1
+	}
+	return th
+}
+
+func (s *GK) insertWeighted(x, g, delta int64) {
+	i := sort.Search(len(s.t), func(i int) bool { return s.t[i].v >= x })
+	if i == 0 || i == len(s.t) {
+		delta = 0 // extremes are exact
+	}
+	if delta < 0 {
+		delta = 0
+	}
+	s.t = append(s.t, gkTuple{})
+	copy(s.t[i+1:], s.t[i:])
+	s.t[i] = gkTuple{v: x, g: g, delta: delta}
+}
+
+// compress merges adjacent tuples while preserving g + Δ ≤ 2εn.
+func (s *GK) compress() { s.compressWith(s.threshold()) }
+
+func (s *GK) compressWith(th int64) {
+	out := s.t[:0]
+	for i := 0; i < len(s.t); i++ {
+		cur := s.t[i]
+		// Keep the first and last tuples intact so the extremes stay
+		// exact; interior runs merge while g + Δ stays under 2εn.
+		for i > 0 && i+1 < len(s.t)-1 && cur.g+s.t[i+1].g+s.t[i+1].delta <= th {
+			cur = gkTuple{v: s.t[i+1].v, g: cur.g + s.t[i+1].g, delta: s.t[i+1].delta}
+			i++
+		}
+		out = append(out, cur)
+	}
+	s.t = out
+}
+
+// Query returns a value whose rank is within ε·n of φ·n, for φ∈[0,1].
+// Standard GK query: return the value preceding the first tuple whose
+// maximum possible rank exceeds the target by more than εn.
+func (s *GK) Query(phi float64) int64 {
+	if len(s.t) == 0 {
+		return 0
+	}
+	r := int64(math.Ceil(phi * float64(s.n)))
+	if r < 1 {
+		r = 1
+	}
+	if r > s.n {
+		r = s.n
+	}
+	e := s.threshold() // 2·ε_work·n = ε·n
+	var rmin int64
+	prev := s.t[0].v
+	for _, tp := range s.t {
+		rmin += tp.g
+		if rmin+tp.delta > r+e {
+			return prev
+		}
+		prev = tp.v
+	}
+	return s.t[len(s.t)-1].v
+}
+
+// Words serializes the summary: [n, tupleCount, (v,g,Δ)*].
+func (s *GK) Words() []int64 {
+	w := make([]int64, s.SizeWords())
+	w[0] = s.n
+	w[1] = int64(len(s.t))
+	for i, tp := range s.t {
+		w[2+3*i] = tp.v
+		w[3+3*i] = tp.g
+		w[4+3*i] = tp.delta
+	}
+	return w
+}
+
+func (s *GK) decode(w []int64) {
+	s.n = w[0]
+	cnt := int(w[1])
+	if cnt > s.cap {
+		panic(fmt.Sprintf("sketch: GK decode overflow (%d > %d)", cnt, s.cap))
+	}
+	s.t = make([]gkTuple, cnt)
+	for i := range s.t {
+		s.t[i] = gkTuple{v: w[2+3*i], g: w[3+3*i], delta: w[4+3*i]}
+	}
+}
+
+// MergeFrom absorbs an A2-produced summary (one-way merge, Definition
+// 3.1): each incoming tuple is inserted as a weighted point carrying its
+// own uncertainty plus the incoming summary's resolution.
+func (s *GK) MergeFrom(words []int64) {
+	other := &GK{eps: s.eps, cap: s.cap}
+	other.decode(words)
+	otherTh := other.threshold()
+	for _, tp := range other.t {
+		s.insertWeighted(tp.v, tp.g, tp.delta+otherTh-1)
+	}
+	s.n += other.n
+	if len(s.t) > s.cap {
+		s.shrink()
+	}
+}
+
+var _ stream.OneWayMergeable = (*GK)(nil)
+var _ stream.Kind = (*GKKind)(nil)

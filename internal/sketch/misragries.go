@@ -1,0 +1,147 @@
+package sketch
+
+import (
+	"sort"
+
+	"mucongest/internal/stream"
+)
+
+// MG is the Misra–Gries heavy-hitters summary [64] with k counters.
+// After processing a stream of total count m (across all merges), the
+// estimate of any label's frequency satisfies
+//
+//	f(x) − m/(k+1) ≤ Estimate(x) ≤ f(x),
+//
+// and this guarantee is preserved under arbitrary merge trees — MG is
+// fully mergeable (Agarwal et al., used by Theorem 1.7). With k = ⌈1/ε⌉
+// the additive error is at most ε·m, the paper's application bound.
+type MG struct {
+	k   int
+	n   int64
+	cnt map[int64]int64
+}
+
+// MGKind configures Misra–Gries summaries with k counters.
+type MGKind struct{ K int }
+
+// NewMGKind returns a Kind for k-counter Misra–Gries summaries.
+func NewMGKind(k int) *MGKind {
+	if k < 1 {
+		panic("sketch: MG requires k ≥ 1")
+	}
+	return &MGKind{K: k}
+}
+
+// New returns an empty summary.
+func (kk *MGKind) New() stream.Summary {
+	return &MG{k: kk.K, cnt: make(map[int64]int64, kk.K+1)}
+}
+
+// M returns the serialized size: 2 header words plus (label,count) per
+// counter slot.
+func (kk *MGKind) M() int { return 2 + 2*kk.K }
+
+// FromWords reconstructs a summary.
+func (kk *MGKind) FromWords(words []int64) stream.Summary {
+	s := kk.New().(*MG)
+	s.decode(words)
+	return s
+}
+
+// SizeWords returns the fixed serialized size.
+func (s *MG) SizeWords() int { return 2 + 2*s.k }
+
+// Count returns the total stream count m.
+func (s *MG) Count() int64 { return s.n }
+
+// Insert processes one label.
+func (s *MG) Insert(x int64) {
+	s.n++
+	if _, ok := s.cnt[x]; ok || len(s.cnt) < s.k {
+		s.cnt[x]++
+		return
+	}
+	// Decrement all; drop zeros.
+	for y := range s.cnt {
+		s.cnt[y]--
+		if s.cnt[y] == 0 {
+			delete(s.cnt, y)
+		}
+	}
+}
+
+// Estimate returns the (under-)estimate of label x's frequency.
+func (s *MG) Estimate(x int64) int64 { return s.cnt[x] }
+
+// ErrorBound returns m/(k+1), the maximum underestimation.
+func (s *MG) ErrorBound() int64 { return s.n / int64(s.k+1) }
+
+// Heavy returns all labels whose estimate is at least thresh, sorted by
+// label.
+func (s *MG) Heavy(thresh int64) []int64 {
+	var out []int64
+	for x, c := range s.cnt {
+		if c >= thresh {
+			out = append(out, x)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Words serializes: [n, entries, (label,count)*].
+func (s *MG) Words() []int64 {
+	w := make([]int64, s.SizeWords())
+	w[0] = s.n
+	labels := make([]int64, 0, len(s.cnt))
+	for x := range s.cnt {
+		labels = append(labels, x)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	w[1] = int64(len(labels))
+	for i, x := range labels {
+		w[2+2*i] = x
+		w[3+2*i] = s.cnt[x]
+	}
+	return w
+}
+
+func (s *MG) decode(w []int64) {
+	s.n = w[0]
+	cnt := int(w[1])
+	s.cnt = make(map[int64]int64, cnt)
+	for i := 0; i < cnt; i++ {
+		s.cnt[w[2+2*i]] = w[3+2*i]
+	}
+}
+
+// MergeFrom merges another MG summary (full mergeability): counters
+// add, then the (k+1)-th largest counter value is subtracted from all
+// and non-positive counters are dropped, restoring the size bound while
+// keeping the combined error at m/(k+1).
+func (s *MG) MergeFrom(words []int64) {
+	other := &MG{k: s.k}
+	other.decode(words)
+	s.n += other.n
+	for x, c := range other.cnt {
+		s.cnt[x] += c
+	}
+	if len(s.cnt) <= s.k {
+		return
+	}
+	vals := make([]int64, 0, len(s.cnt))
+	for _, c := range s.cnt {
+		vals = append(vals, c)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
+	sub := vals[s.k] // (k+1)-th largest
+	for x := range s.cnt {
+		s.cnt[x] -= sub
+		if s.cnt[x] <= 0 {
+			delete(s.cnt, x)
+		}
+	}
+}
+
+var _ stream.FullyMergeable = (*MG)(nil)
+var _ stream.Kind = (*MGKind)(nil)

@@ -1,0 +1,24 @@
+package sketch
+
+// primesFrom returns the first t primes that are ≥ lo.
+func primesFrom(lo, t int) []int64 {
+	out := make([]int64, 0, t)
+	for p := int64(lo); len(out) < t; p++ {
+		if isPrime(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func isPrime(p int64) bool {
+	if p < 2 {
+		return false
+	}
+	for d := int64(2); d*d <= p; d++ {
+		if p%d == 0 {
+			return false
+		}
+	}
+	return true
+}

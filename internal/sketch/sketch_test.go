@@ -1,0 +1,436 @@
+package sketch
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"mucongest/internal/stream"
+)
+
+func zipfStream(n int, universe int64, s float64, rng *rand.Rand) []int64 {
+	z := rand.NewZipf(rng, s, 1, uint64(universe-1))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(z.Uint64()) + 1
+	}
+	return out
+}
+
+func uniformStream(n int, universe int64, rng *rand.Rand) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = rng.Int63n(universe) + 1
+	}
+	return out
+}
+
+func exactRank(sorted []int64, v int64) (lo, hi int) {
+	lo = sort.Search(len(sorted), func(i int) bool { return sorted[i] >= v })
+	hi = sort.Search(len(sorted), func(i int) bool { return sorted[i] > v })
+	return lo, hi
+}
+
+func checkGKError(t *testing.T, name string, data []int64, eps float64) {
+	t.Helper()
+	kind := NewGKKind(eps, int64(len(data)))
+	g := kind.New().(*GK)
+	stream.InsertAll(g, data)
+	sorted := append([]int64(nil), data...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	n := float64(len(data))
+	for _, phi := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		v := g.Query(phi)
+		lo, hi := exactRank(sorted, v)
+		target := phi * n
+		// Rank of returned value must be within ε·n of target.
+		errRank := 0.0
+		if target < float64(lo) {
+			errRank = float64(lo) - target
+		} else if target > float64(hi) {
+			errRank = target - float64(hi)
+		}
+		if errRank > eps*n+1 {
+			t.Fatalf("%s: φ=%.2f returned %d with rank error %.0f > εn=%.0f",
+				name, phi, v, errRank, eps*n)
+		}
+	}
+}
+
+func TestGKErrorSortedUniformZipf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 20000
+	eps := 0.02
+	asc := make([]int64, n)
+	desc := make([]int64, n)
+	for i := range asc {
+		asc[i] = int64(i)
+		desc[i] = int64(n - i)
+	}
+	checkGKError(t, "ascending", asc, eps)
+	checkGKError(t, "descending", desc, eps)
+	checkGKError(t, "uniform", uniformStream(n, 1_000_000, rng), eps)
+	checkGKError(t, "zipf", zipfStream(n, 1000, 1.3, rng), eps)
+}
+
+func TestGKSpaceSublinear(t *testing.T) {
+	n := 50000
+	eps := 0.02
+	kind := NewGKKind(eps, int64(n))
+	g := kind.New().(*GK)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < n; i++ {
+		g.Insert(rng.Int63n(1 << 40))
+	}
+	if g.TupleCount() > kind.cap {
+		t.Fatalf("GK stores %d tuples, cap %d", g.TupleCount(), kind.cap)
+	}
+	if kind.M() > n/4 {
+		t.Fatalf("GK summary size %d not sublinear in n=%d", kind.M(), n)
+	}
+}
+
+func TestGKSerializationRoundTrip(t *testing.T) {
+	kind := NewGKKind(0.05, 10000)
+	g := kind.New().(*GK)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		g.Insert(rng.Int63n(1000))
+	}
+	w := g.Words()
+	if len(w) != kind.M() {
+		t.Fatalf("serialized %d words want %d", len(w), kind.M())
+	}
+	g2 := kind.FromWords(w).(*GK)
+	if g2.Count() != g.Count() {
+		t.Fatal("count lost in round trip")
+	}
+	for _, phi := range []float64{0.1, 0.5, 0.9} {
+		if g.Query(phi) != g2.Query(phi) {
+			t.Fatalf("query φ=%v differs after round trip", phi)
+		}
+	}
+}
+
+func TestGKOneWayMerge(t *testing.T) {
+	// Theorem 1.6 usage: many cluster summaries merged one-way into a
+	// main summary; final quantile error must stay near ε·m.
+	rng := rand.New(rand.NewSource(4))
+	eps := 0.05
+	clusters := 20
+	per := 2000
+	total := clusters * per
+	kind := NewGKKind(eps, int64(total))
+	main := kind.New().(*GK)
+	var all []int64
+	for c := 0; c < clusters; c++ {
+		data := uniformStream(per, 1_000_000, rng)
+		all = append(all, data...)
+		s := kind.New().(*GK)
+		stream.InsertAll(s, data)
+		main.MergeFrom(s.Words())
+	}
+	if main.Count() != int64(total) {
+		t.Fatalf("count %d want %d", main.Count(), total)
+	}
+	sorted := append([]int64(nil), all...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	nf := float64(total)
+	for _, phi := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+		v := main.Query(phi)
+		lo, hi := exactRank(sorted, v)
+		target := phi * nf
+		errRank := math.Max(float64(lo)-target, target-float64(hi))
+		// One-way merging compounds per-merge error; allow 3ε·m.
+		if errRank > 3*eps*nf {
+			t.Fatalf("merged φ=%.2f rank error %.0f > 3εm=%.0f", phi, errRank, 3*eps*nf)
+		}
+	}
+}
+
+func TestMGGuarantee(t *testing.T) {
+	// Property: for any stream, f(x) - m/(k+1) ≤ est(x) ≤ f(x).
+	f := func(seed int64, kRaw uint8) bool {
+		k := int(kRaw%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		data := zipfStream(3000, 50, 1.2, rng)
+		mg := NewMGKind(k).New().(*MG)
+		exact := map[int64]int64{}
+		for _, x := range data {
+			mg.Insert(x)
+			exact[x]++
+		}
+		m := int64(len(data))
+		for x := int64(1); x <= 50; x++ {
+			est := mg.Estimate(x)
+			if est > exact[x] || est < exact[x]-m/int64(k+1) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMGFullMergeGuarantee(t *testing.T) {
+	// Merge in an arbitrary binary tree; guarantee must hold for the
+	// combined stream (full mergeability).
+	rng := rand.New(rand.NewSource(7))
+	k := 9
+	kind := NewMGKind(k)
+	parts := make([]*MG, 8)
+	exact := map[int64]int64{}
+	var m int64
+	for i := range parts {
+		parts[i] = kind.New().(*MG)
+		data := zipfStream(1000+i*137, 40, 1.1, rng)
+		for _, x := range data {
+			parts[i].Insert(x)
+			exact[x]++
+		}
+		m += int64(len(data))
+	}
+	// Tree: ((0+1)+(2+3)) + ((4+5)+(6+7))
+	for _, pair := range [][2]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}, {0, 2}, {4, 6}, {0, 4}} {
+		parts[pair[0]].MergeFrom(parts[pair[1]].Words())
+	}
+	res := parts[0]
+	if res.Count() != m {
+		t.Fatalf("merged count %d want %d", res.Count(), m)
+	}
+	for x := int64(1); x <= 40; x++ {
+		est := res.Estimate(x)
+		if est > exact[x] {
+			t.Fatalf("label %d overestimated: %d > %d", x, est, exact[x])
+		}
+		if est < exact[x]-m/int64(k+1) {
+			t.Fatalf("label %d underestimated: %d < %d - %d", x, est, exact[x], m/int64(k+1))
+		}
+	}
+}
+
+func TestMGHeavyAndSerialization(t *testing.T) {
+	kind := NewMGKind(5)
+	mg := kind.New().(*MG)
+	for i := 0; i < 60; i++ {
+		mg.Insert(1)
+	}
+	for i := 0; i < 30; i++ {
+		mg.Insert(2)
+	}
+	for i := int64(3); i < 13; i++ {
+		mg.Insert(i)
+	}
+	heavy := mg.Heavy(20)
+	if len(heavy) != 2 || heavy[0] != 1 || heavy[1] != 2 {
+		t.Fatalf("heavy = %v", heavy)
+	}
+	w := mg.Words()
+	if len(w) != kind.M() {
+		t.Fatalf("size %d want %d", len(w), kind.M())
+	}
+	mg2 := kind.FromWords(w).(*MG)
+	if mg2.Count() != mg.Count() || mg2.Estimate(1) != mg.Estimate(1) {
+		t.Fatal("round trip lost state")
+	}
+}
+
+func TestCRPrecisDeterministicBound(t *testing.T) {
+	universe := int64(1000)
+	kind := NewCRPrecisKind(20, 8)
+	s := kind.New().(*CRPrecis)
+	rng := rand.New(rand.NewSource(8))
+	data := zipfStream(20000, universe, 1.4, rng)
+	exact := map[int64]int64{}
+	for _, x := range data {
+		s.Insert(x)
+		exact[x]++
+	}
+	bound := s.ErrorBound(universe)
+	for x := int64(1); x <= universe; x++ {
+		est := s.Estimate(x)
+		if est < exact[x] {
+			t.Fatalf("CR-Precis underestimated %d: %d < %d", x, est, exact[x])
+		}
+		if est > exact[x]+bound {
+			t.Fatalf("CR-Precis overestimated %d: %d > %d + %d", x, est, exact[x], bound)
+		}
+	}
+}
+
+func TestCRPrecisComposable(t *testing.T) {
+	kind := NewCRPrecisKind(11, 5)
+	rng := rand.New(rand.NewSource(9))
+	parts := make([]*CRPrecis, 6)
+	whole := kind.New().(*CRPrecis)
+	for i := range parts {
+		parts[i] = kind.New().(*CRPrecis)
+		for j := 0; j < 500; j++ {
+			x := rng.Int63n(200)
+			parts[i].Insert(x)
+			whole.Insert(x)
+		}
+	}
+	// Streaming composition word-by-word (Definition 3.3).
+	composed := kind.New().(*CRPrecis)
+	for i := 0; i < kind.M(); i++ {
+		for _, p := range parts {
+			composed.ComposeWord(i, p.Words()[i])
+		}
+	}
+	if composed.Count() != whole.Count() {
+		t.Fatalf("composed count %d want %d", composed.Count(), whole.Count())
+	}
+	for x := int64(0); x < 200; x++ {
+		if composed.Estimate(x) != whole.Estimate(x) {
+			t.Fatalf("composition not linear at %d", x)
+		}
+	}
+}
+
+func TestCRPrecisEntropyEstimate(t *testing.T) {
+	universe := int64(64)
+	kind := NewCRPrecisKind(67, 6) // primes > universe: zero collisions
+	s := kind.New().(*CRPrecis)
+	exact := NewExactKind(int(universe)).New().(*Exact)
+	rng := rand.New(rand.NewSource(10))
+	for i := 0; i < 30000; i++ {
+		x := rng.Int63n(universe) + 1
+		s.Insert(x)
+		exact.Insert(x)
+	}
+	uni := make([]int64, universe)
+	for i := range uni {
+		uni[i] = int64(i) + 1
+	}
+	got := s.EstimateEntropy(uni)
+	want := exact.Entropy()
+	if math.Abs(got-want) > 0.02 {
+		t.Fatalf("entropy %f want %f", got, want)
+	}
+}
+
+func TestCountMinBoundAndLinearity(t *testing.T) {
+	kind := NewCountMinKind(5, 272, 42) // e·m/w ≈ m/100
+	rng := rand.New(rand.NewSource(11))
+	s1 := kind.New().(*CountMin)
+	s2 := kind.New().(*CountMin)
+	exact := map[int64]int64{}
+	for i := 0; i < 10000; i++ {
+		x := zipfStream(1, 500, 1.3, rng)[0]
+		if i%2 == 0 {
+			s1.Insert(x)
+		} else {
+			s2.Insert(x)
+		}
+		exact[x]++
+	}
+	s1.MergeFrom(s2.Words())
+	m := int64(20000)
+	_ = m
+	bad := 0
+	for x := int64(1); x <= 500; x++ {
+		est := s1.Estimate(x)
+		if est < exact[x] {
+			t.Fatalf("CountMin underestimated %d", x)
+		}
+		slack := int64(math.Ceil(20000 * math.E / 272))
+		if est > exact[x]+slack+50 {
+			bad++
+		}
+	}
+	if bad > 25 { // 5% slack on the probabilistic bound
+		t.Fatalf("CountMin exceeded error bound on %d labels", bad)
+	}
+}
+
+func TestAMSF2(t *testing.T) {
+	kind := NewAMSKind(7, 64, 5)
+	rng := rand.New(rand.NewSource(12))
+	s := kind.New().(*AMS)
+	half1 := kind.New().(*AMS)
+	half2 := kind.New().(*AMS)
+	exact := NewExactKind(300).New().(*Exact)
+	for i := 0; i < 20000; i++ {
+		x := zipfStream(1, 200, 1.5, rng)[0]
+		s.Insert(x)
+		if i%2 == 0 {
+			half1.Insert(x)
+		} else {
+			half2.Insert(x)
+		}
+		exact.Insert(x)
+	}
+	want := exact.F2()
+	got := s.EstimateF2()
+	if math.Abs(float64(got-want)) > 0.35*float64(want) {
+		t.Fatalf("AMS F2 %d want %d ±35%%", got, want)
+	}
+	// Linearity: halves merged must equal the whole.
+	half1.MergeFrom(half2.Words())
+	if half1.EstimateF2() != got {
+		t.Fatalf("AMS not linear: %d vs %d", half1.EstimateF2(), got)
+	}
+}
+
+func TestExactCounter(t *testing.T) {
+	kind := NewExactKind(10)
+	s := kind.New().(*Exact)
+	for _, x := range []int64{5, 5, 7, 9, 5, 7} {
+		s.Insert(x)
+	}
+	if s.Estimate(5) != 3 || s.Estimate(7) != 2 || s.Estimate(1) != 0 {
+		t.Fatal("exact counts wrong")
+	}
+	if s.Quantile(0.4) != 5 {
+		t.Fatalf("0.4-quantile %d", s.Quantile(0.4))
+	}
+	if s.Quantile(0.99) != 9 {
+		t.Fatalf("0.99-quantile %d", s.Quantile(0.99))
+	}
+	w := s.Words()
+	s2 := kind.FromWords(w).(*Exact)
+	s2.MergeFrom(w)
+	if s2.Estimate(5) != 6 {
+		t.Fatal("merge wrong")
+	}
+}
+
+func TestPrimes(t *testing.T) {
+	ps := primesFrom(10, 5)
+	want := []int64{11, 13, 17, 19, 23}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("primes %v", ps)
+		}
+	}
+}
+
+func TestKindsHaveConsistentM(t *testing.T) {
+	kinds := []stream.Kind{
+		NewGKKind(0.1, 1000),
+		NewMGKind(7),
+		NewCRPrecisKind(13, 4),
+		NewCountMinKind(3, 50, 1),
+		NewAMSKind(3, 16, 1),
+		NewExactKind(20),
+	}
+	for _, k := range kinds {
+		s := k.New()
+		if s.SizeWords() != k.M() {
+			t.Fatalf("%T: SizeWords %d != M %d", k, s.SizeWords(), k.M())
+		}
+		if len(s.Words()) != k.M() {
+			t.Fatalf("%T: Words length %d != M %d", k, len(s.Words()), k.M())
+		}
+		s.Insert(3)
+		s2 := k.FromWords(s.Words())
+		if len(s2.Words()) != k.M() {
+			t.Fatalf("%T: round-trip size mismatch", k)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package stream_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mucongest/internal/sketch"
+	"mucongest/internal/stream"
+)
+
+// kinds under test, with whether they satisfy the stronger notions.
+func allKinds() map[string]struct {
+	kind       stream.Kind
+	fully      bool
+	composable bool
+}{
+	return map[string]struct {
+		kind       stream.Kind
+		fully      bool
+		composable bool
+	}{
+		"gk":       {sketch.NewGKKind(0.1, 10000), false, false},
+		"mg":       {sketch.NewMGKind(8), true, false},
+		"crprecis": {sketch.NewCRPrecisKind(11, 3), true, true},
+		"countmin": {sketch.NewCountMinKind(3, 32, 7), true, true},
+		"ams":      {sketch.NewAMSKind(3, 8, 7), true, true},
+		"exact":    {sketch.NewExactKind(64), true, false},
+	}
+}
+
+func TestMergeabilityHierarchy(t *testing.T) {
+	for name, tc := range allKinds() {
+		s := tc.kind.New()
+		if _, ok := s.(stream.OneWayMergeable); !ok {
+			t.Fatalf("%s: not one-way mergeable", name)
+		}
+		if _, ok := s.(stream.Composable); ok != tc.composable {
+			t.Fatalf("%s: composable = %v, want %v", name, ok, tc.composable)
+		}
+	}
+}
+
+// Property: serialization round-trips preserve the full wire format for
+// every kind, under arbitrary streams.
+func TestRoundTripProperty(t *testing.T) {
+	for name, tc := range allKinds() {
+		kind := tc.kind
+		f := func(seed int64, nRaw uint8) bool {
+			rng := rand.New(rand.NewSource(seed))
+			s := kind.New()
+			for i := 0; i < int(nRaw)%60; i++ {
+				s.Insert(rng.Int63n(50))
+			}
+			w := s.Words()
+			if len(w) != kind.M() {
+				return false
+			}
+			s2 := kind.FromWords(w)
+			w2 := s2.Words()
+			for i := range w {
+				if w[i] != w2[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// Property: for fully-mergeable kinds, merging preserves the total
+// stream count regardless of the merge tree.
+func TestMergePreservesCount(t *testing.T) {
+	for name, tc := range allKinds() {
+		if !tc.fully {
+			continue
+		}
+		kind := tc.kind
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			parts := make([]stream.OneWayMergeable, 4)
+			var total int64
+			for i := range parts {
+				parts[i] = kind.New().(stream.OneWayMergeable)
+				k := rng.Intn(40)
+				for j := 0; j < k; j++ {
+					parts[i].Insert(rng.Int63n(30))
+					total++
+				}
+			}
+			parts[2].MergeFrom(parts[3].Words())
+			parts[0].MergeFrom(parts[1].Words())
+			parts[0].MergeFrom(parts[2].Words())
+			type counter interface{ Count() int64 }
+			return parts[0].(counter).Count() == total
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+// Property: composable kinds compose word-streams to the same state as
+// pairwise merging.
+func TestComposeEqualsMerge(t *testing.T) {
+	for name, tc := range allKinds() {
+		if !tc.composable {
+			continue
+		}
+		kind := tc.kind
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			a := kind.New().(stream.Composable)
+			b := kind.New().(stream.Composable)
+			for i := 0; i < 30; i++ {
+				a.Insert(rng.Int63n(40))
+				b.Insert(rng.Int63n(40))
+			}
+			merged := kind.FromWords(a.Words()).(stream.Composable)
+			merged.MergeFrom(b.Words())
+			composed := kind.New().(stream.Composable)
+			for i := 0; i < kind.M(); i++ {
+				composed.ComposeWord(i, a.Words()[i])
+				composed.ComposeWord(i, b.Words()[i])
+			}
+			wm, wc := merged.Words(), composed.Words()
+			for i := range wm {
+				if wm[i] != wc[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestInsertAll(t *testing.T) {
+	s := sketch.NewExactKind(8).New()
+	stream.InsertAll(s, []int64{1, 2, 2, 3})
+	if s.(*sketch.Exact).Estimate(2) != 2 {
+		t.Fatal("InsertAll lost elements")
+	}
+}

@@ -1,0 +1,43 @@
+package streamsim
+
+// Recorder is a diagnostic client that records the exact order in which
+// edge labels arrive in each pass; the shuffle-uniformity tests use it
+// to χ²-test the realized stream order.
+type Recorder struct {
+	P     int
+	Order [][]int64
+}
+
+// NewRecorder builds a p-pass recorder.
+func NewRecorder(p int) *Recorder { return &Recorder{P: p} }
+
+// Passes returns p.
+func (r *Recorder) Passes() int { return r.P }
+
+// StartPass opens a fresh order log.
+func (r *Recorder) StartPass(int) { r.Order = append(r.Order, nil) }
+
+// Edge appends the label to the current pass log.
+func (r *Recorder) Edge(_, _ int, label int64) {
+	r.Order[len(r.Order)-1] = append(r.Order[len(r.Order)-1], label)
+}
+
+// EndPass is a no-op.
+func (r *Recorder) EndPass() {}
+
+// Result returns the final pass's order.
+func (r *Recorder) Result() []int64 {
+	if len(r.Order) == 0 {
+		return nil
+	}
+	return r.Order[len(r.Order)-1]
+}
+
+// MemoryWords reports the log size (a diagnostic client, not μ-bounded).
+func (r *Recorder) MemoryWords() int64 {
+	var t int64
+	for _, o := range r.Order {
+		t += int64(len(o))
+	}
+	return t + 4
+}
