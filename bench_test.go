@@ -5,9 +5,11 @@ import (
 	"testing"
 
 	"mucongest/internal/bench"
+	"mucongest/internal/graph"
+	"mucongest/internal/sim"
 )
 
-// One benchmark per experiment of DESIGN.md §4. Each iteration runs the
+// One benchmark per experiment of README.md's E1–E12 map. Each iteration runs the
 // whole experiment (workload generation + simulation sweep); reported
 // ns/op therefore tracks the end-to-end cost of regenerating the
 // corresponding paper table. Sizes are scaled down from cmd/muexp's
@@ -59,6 +61,45 @@ func BenchmarkE9_ComposableCRPrecis(b *testing.B) {
 
 func BenchmarkE10_MonochromaticTriangles(b *testing.B) {
 	runTables(b, func() *bench.Table { return bench.E10(24, 1) })
+}
+
+// The BenchmarkEngineRound* family isolates the engine round loop
+// (staging, routing, inbox ordering, memory accounting) from any
+// algorithm logic: every node broadcasts every round for a fixed number
+// of rounds. ns/op and allocs/op therefore track the per-round engine
+// overhead that every experiment pays.
+
+func benchEngineRounds(b *testing.B, topo sim.Topology, rounds int, opts ...sim.Option) {
+	b.Helper()
+	b.ReportAllocs()
+	program := func(c *sim.Ctx) {
+		for r := 0; r < rounds; r++ {
+			c.Broadcast(sim.Msg{Kind: 1, A: int64(c.ID()), B: int64(r)})
+			c.Tick()
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		e := sim.New(topo, append([]sim.Option{sim.WithSeed(1)}, opts...)...)
+		if _, err := e.Run(program); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEngineRoundDense64(b *testing.B) {
+	benchEngineRounds(b, sim.NewComplete(64), 32)
+}
+
+func BenchmarkEngineRoundSparseRing1024(b *testing.B) {
+	benchEngineRounds(b, graph.Cycle(1024), 32)
+}
+
+func BenchmarkEngineRoundRandomOrder64(b *testing.B) {
+	benchEngineRounds(b, sim.NewComplete(64), 32, sim.WithInboxOrder(sim.OrderRandom))
+}
+
+func BenchmarkEngineRoundReversed64(b *testing.B) {
+	benchEngineRounds(b, sim.NewComplete(64), 32, sim.WithInboxOrder(sim.OrderReversed))
 }
 
 func BenchmarkE11_RoutingTradeoff(b *testing.B) {

@@ -1,51 +1,42 @@
-// Command muexp runs the paper-reproduction experiments (DESIGN.md §4)
-// and prints one table per experiment with theory vs measured columns.
+// Command muexp runs the paper-reproduction experiments (README.md,
+// experiments E1–E12) and prints one table per experiment with theory
+// vs measured columns.
 //
 // Usage:
 //
-//	muexp [-seed N] [-exp E3]   # one experiment, or all by default
+//	muexp [-seed N] [-exp E3] [-parallel N]
+//
+// By default every experiment runs, spread over a worker pool of
+// GOMAXPROCS goroutines. Each table cell derives its own seed from
+// -seed, so the output is byte-identical for every -parallel value.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
 	"mucongest/internal/bench"
 )
 
 func main() {
+	specs := bench.Specs()
+	valid := strings.Join(bench.ExperimentIDs(specs), ", ")
+
 	seed := flag.Int64("seed", 1, "random seed for workloads and protocols")
-	exp := flag.String("exp", "all", "experiment id (E1, E3, E4, E6, E7, E8, E9, E10, E11) or 'all'")
+	exp := flag.String("exp", "all", "experiment id ("+valid+") or 'all'")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
+		"number of experiment cells to run concurrently")
 	flag.Parse()
 
-	var tables []*bench.Table
-	switch *exp {
-	case "all":
-		tables = bench.All(*seed)
-	case "E1", "E2":
-		tables = []*bench.Table{bench.E1E2(48, 3, *seed), bench.E1E2(36, 4, *seed)}
-	case "E3":
-		tables = []*bench.Table{bench.E3(96, *seed)}
-	case "E4", "E5":
-		tables = []*bench.Table{bench.E4E5(4, 8, *seed)}
-	case "E6":
-		tables = []*bench.Table{bench.E6(20, *seed)}
-	case "E7":
-		tables = []*bench.Table{bench.E7(24, *seed)}
-	case "E8":
-		tables = []*bench.Table{bench.E8(24, *seed)}
-	case "E9":
-		tables = []*bench.Table{bench.E9(24, *seed)}
-	case "E10":
-		tables = []*bench.Table{bench.E10(32, *seed)}
-	case "E11", "E12":
-		tables = []*bench.Table{bench.E11E12(40, *seed)}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+	selected, ok := bench.SelectSpecs(specs, *exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s, all\n", *exp, valid)
 		os.Exit(2)
 	}
-	for _, t := range tables {
+	for _, t := range bench.RunParallel(selected, *seed, *parallel) {
 		t.Fprint(os.Stdout)
 	}
 }

@@ -1,8 +1,9 @@
 // Package mucongest reproduces "Bounded Memory in Distributed
 // Networks" (Ben Basat, Censor-Hillel, Chang, Han, Leitersdorf,
 // Schwartzman — SPAA 2025): the μ-CONGEST model, bounded-memory clique
-// listing, and the streaming-simulation toolbox. See README.md,
-// DESIGN.md and EXPERIMENTS.md; the implementation lives under
-// internal/ and is exercised by cmd/muexp, the examples/ programs, and
-// the benchmarks in bench_test.go.
+// listing, and the streaming-simulation toolbox. README.md documents
+// the build, the muexp/mugraph commands and the experiment map E1–E12;
+// the implementation lives under internal/ and is exercised by
+// cmd/muexp, the examples/ programs, and the benchmarks in
+// bench_test.go.
 package mucongest

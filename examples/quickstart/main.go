@@ -37,5 +37,6 @@ func main() {
 	fmt.Println("rounds:        ", res.Rounds)
 	fmt.Println("messages:      ", res.Messages)
 	fmt.Println("peak words:    ", res.MaxPeakWords(), "of μ =", mu)
-	fmt.Println("μ violations:  ", len(res.Violations))
+	fmt.Printf("μ violations:   %d nodes over μ, %d node-rounds\n",
+		len(res.Violations), res.OverMuRounds())
 }

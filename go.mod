@@ -1,0 +1,3 @@
+module mucongest
+
+go 1.24

@@ -360,19 +360,3 @@ func E11E12(n int, seed int64) *Table {
 			"isolated in expander.TestRouterAlphaTradeoffCharges")
 	return t
 }
-
-// All runs every experiment at laptop scale.
-func All(seed int64) []*Table {
-	return []*Table{
-		E1E2(48, 3, seed),
-		E1E2(36, 4, seed),
-		E3(96, seed),
-		E4E5(4, 8, seed),
-		E6(20, seed),
-		E7(24, seed),
-		E8(24, seed),
-		E9(24, seed),
-		E10(32, seed),
-		E11E12(40, seed),
-	}
-}

@@ -1,0 +1,127 @@
+package bench
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// Spec describes one independently runnable experiment cell: the grid of
+// README.md’s experiment map decomposed into units a worker pool can schedule. ID
+// names the cell (and feeds per-cell seed derivation); Exps lists the
+// experiment ids (E1..E12) the cell reproduces, so cmd/muexp can select
+// cells by experiment.
+type Spec struct {
+	ID   string
+	Exps []string
+	Run  func(seed int64) *Table
+}
+
+// Specs returns the full experiment grid at cmd/muexp's default scales,
+// one Spec per table.
+func Specs() []Spec {
+	return []Spec{
+		{"E1/E2-k3", []string{"E1", "E2"}, func(s int64) *Table { return E1E2(48, 3, s) }},
+		{"E1/E2-k4", []string{"E1", "E2"}, func(s int64) *Table { return E1E2(36, 4, s) }},
+		{"E3", []string{"E3"}, func(s int64) *Table { return E3(96, s) }},
+		{"E4/E5", []string{"E4", "E5"}, func(s int64) *Table { return E4E5(4, 8, s) }},
+		{"E6", []string{"E6"}, func(s int64) *Table { return E6(20, s) }},
+		{"E7", []string{"E7"}, func(s int64) *Table { return E7(24, s) }},
+		{"E8", []string{"E8"}, func(s int64) *Table { return E8(24, s) }},
+		{"E9", []string{"E9"}, func(s int64) *Table { return E9(24, s) }},
+		{"E10", []string{"E10"}, func(s int64) *Table { return E10(32, s) }},
+		{"E11/E12", []string{"E11", "E12"}, func(s int64) *Table { return E11E12(40, s) }},
+	}
+}
+
+// SelectSpecs returns the cells of specs that reproduce experiment exp,
+// or all of them for "all". The boolean reports whether exp was known.
+func SelectSpecs(specs []Spec, exp string) ([]Spec, bool) {
+	if exp == "all" {
+		return specs, true
+	}
+	var out []Spec
+	for _, sp := range specs {
+		for _, e := range sp.Exps {
+			if e == exp {
+				out = append(out, sp)
+				break
+			}
+		}
+	}
+	return out, len(out) > 0
+}
+
+// ExperimentIDs returns the sorted-by-grid-order list of experiment ids
+// covered by specs, without duplicates.
+func ExperimentIDs(specs []Spec) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, sp := range specs {
+		for _, e := range sp.Exps {
+			if !seen[e] {
+				seen[e] = true
+				out = append(out, e)
+			}
+		}
+	}
+	return out
+}
+
+// CellSeed derives the deterministic seed of cell id from the root seed:
+// an FNV-1a hash of the id mixed into the root through a splitmix64
+// finalizer. The derivation depends only on (root, id) — never on worker
+// count or execution order — so every cell sees the same seed whether
+// the grid runs serially or on a pool.
+func CellSeed(root int64, id string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	x := uint64(root) ^ h.Sum64()
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}
+
+// RunSerial executes the cells one after another in grid order — the
+// reference implementation the pool must be indistinguishable from.
+func RunSerial(specs []Spec, rootSeed int64) []*Table {
+	tables := make([]*Table, len(specs))
+	for i, sp := range specs {
+		tables[i] = sp.Run(CellSeed(rootSeed, sp.ID))
+	}
+	return tables
+}
+
+// RunParallel executes the cells on a pool of `workers` goroutines.
+// Results land in grid order and every cell runs with its CellSeed, so
+// the returned tables are identical to RunSerial's for any worker count;
+// only the wall-clock changes.
+func RunParallel(specs []Spec, rootSeed int64, workers int) []*Table {
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	tables := make([]*Table, len(specs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				tables[i] = specs[i].Run(CellSeed(rootSeed, specs[i].ID))
+			}
+		}()
+	}
+	for i := range specs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return tables
+}

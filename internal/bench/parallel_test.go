@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// tinySpecs is a scaled-down grid of real experiments, small enough to
+// run repeatedly in tests while still exercising the simulator.
+func tinySpecs() []Spec {
+	return []Spec{
+		{"E1/E2-k3", []string{"E1", "E2"}, func(s int64) *Table { return E1E2(16, 3, s) }},
+		{"E4/E5", []string{"E4", "E5"}, func(s int64) *Table { return E4E5(3, 4, s) }},
+		{"E6", []string{"E6"}, func(s int64) *Table { return E6(8, s) }},
+		{"E7", []string{"E7"}, func(s int64) *Table { return E7(10, s) }},
+	}
+}
+
+func render(tables []*Table) []byte {
+	var buf bytes.Buffer
+	for _, t := range tables {
+		t.Fprint(&buf)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelMatchesSerial pins the acceptance criterion of the worker
+// pool: for the same root seed, the pool's rendered output is
+// byte-identical to the serial runner's at every worker count.
+func TestParallelMatchesSerial(t *testing.T) {
+	specs := tinySpecs()
+	want := render(RunSerial(specs, 7))
+	for _, workers := range []int{1, 2, 4, 16} {
+		got := render(RunParallel(specs, 7, workers))
+		if !bytes.Equal(got, want) {
+			t.Fatalf("workers=%d: output differs from serial runner\nserial:\n%s\nparallel:\n%s",
+				workers, want, got)
+		}
+	}
+}
+
+func TestCellSeedDeterministicAndDistinct(t *testing.T) {
+	if CellSeed(1, "E3") != CellSeed(1, "E3") {
+		t.Fatal("CellSeed not deterministic")
+	}
+	seen := map[int64]string{}
+	for _, sp := range Specs() {
+		s := CellSeed(1, sp.ID)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("cells %q and %q derived the same seed %d", prev, sp.ID, s)
+		}
+		seen[s] = sp.ID
+	}
+	if CellSeed(1, "E3") == CellSeed(2, "E3") {
+		t.Fatal("CellSeed ignores the root seed")
+	}
+}
+
+func TestSelectSpecs(t *testing.T) {
+	specs := Specs()
+	for _, exp := range ExperimentIDs(specs) {
+		sel, ok := SelectSpecs(specs, exp)
+		if !ok || len(sel) == 0 {
+			t.Fatalf("experiment %s not selectable", exp)
+		}
+		for _, sp := range sel {
+			found := false
+			for _, e := range sp.Exps {
+				found = found || e == exp
+			}
+			if !found {
+				t.Fatalf("SelectSpecs(%s) returned unrelated cell %s", exp, sp.ID)
+			}
+		}
+	}
+	// The grid must cover the full E1..E12 map.
+	ids := ExperimentIDs(specs)
+	if len(ids) != 12 {
+		t.Fatalf("experiment ids = %v, want E1..E12", ids)
+	}
+	for i, id := range ids {
+		if want := fmt.Sprintf("E%d", i+1); id != want {
+			t.Fatalf("ids[%d] = %s, want %s", i, id, want)
+		}
+	}
+	if all, ok := SelectSpecs(specs, "all"); !ok || len(all) != len(specs) {
+		t.Fatal("SelectSpecs(all) must return the whole grid")
+	}
+	if _, ok := SelectSpecs(specs, "E13"); ok {
+		t.Fatal("unknown experiment must not select")
+	}
+}

@@ -1,5 +1,5 @@
 // Package bench is the experiment harness: one runner per experiment of
-// DESIGN.md §4 (E1–E12), each producing a table with the paper's
+// README.md’s experiment map (E1–E12), each producing a table with the paper’s
 // theory column next to the measured column. cmd/muexp prints them;
 // bench_test.go wraps them in testing.B benchmarks.
 package bench

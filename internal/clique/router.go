@@ -20,7 +20,7 @@ type Packet struct {
 // ⌈L/(n-1)⌉ + O(1) rounds. Lenzen's theorem guarantees a conflict-free
 // schedule of that length exists; rather than re-implement his
 // distributed sorting protocol, the router computes the schedule
-// centrally (a documented substitution, DESIGN.md §2) while charging
+// centrally (a documented substitution from the paper’s Section 2 routing) while charging
 // the exact round count of the lemma and preserving the per-node
 // message loads, which is what the experiments measure.
 //

@@ -8,7 +8,7 @@
 //   - Fully mergeable (Theorem 1.7): level-synchronous hierarchical
 //     pairwise merging up the BFS tree, with the final per-node stage
 //     collecting up to μ/(2M) summaries at once — realizing the
-//     M·log(Δ/(μ/M)) per-level cost. (Documented deviation, DESIGN.md:
+//     M·log(Δ/(μ/M)) per-level cost. (Documented deviation from the paper:
 //     the paper recurses on information-centroids for log|I| depth; we
 //     recurse on BFS levels, identical on the low-diameter workloads.)
 //   - Composable (Theorem 1.8): same levels, but children stream their

@@ -16,6 +16,7 @@ type Ctx struct {
 	rng *rand.Rand
 
 	outbox []routed
+	spare  []routed    // retired outbox buffer, recycled by takeOutbox
 	sent   map[int]int // port -> messages sent this round
 }
 
@@ -100,6 +101,12 @@ func (c *Ctx) Broadcast(m Msg) {
 // engine, the node blocks until every node reaches the barrier, and the
 // messages that arrived are returned. The returned inbox counts toward
 // the node's memory until it drops the slice.
+//
+// The returned slice aliases an engine-owned buffer that is reused for
+// the node's next delivery: it is valid only until this node's next
+// Tick call. Copy any messages that must outlive the round. Build with
+// `-tags simdebug` to poison retired buffers and surface violations of
+// this contract as sentinel messages (From/Kind = -1).
 func (c *Ctx) Tick() []Incoming {
 	rt := c.eng.nodes[c.id]
 	rt.ticks++
@@ -152,9 +159,14 @@ func (c *Ctx) Release(words int64) {
 // the in-flight inbox).
 func (c *Ctx) Live() int64 { return c.eng.nodes[c.id].live }
 
+// takeOutbox hands the queued messages to the engine and recycles the
+// buffer retired one barrier ago: the engine finished delivering from it
+// before this node was last resumed, so it is free for reuse. The two
+// buffers alternate, making steady-state sends allocation-free.
 func (c *Ctx) takeOutbox() []routed {
 	out := c.outbox
-	c.outbox = nil
+	c.outbox = c.spare[:0]
+	c.spare = out
 	for k := range c.sent {
 		delete(c.sent, k)
 	}

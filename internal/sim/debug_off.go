@@ -1,0 +1,7 @@
+//go:build !simdebug
+
+package sim
+
+// debugPoison enables poisoning of retired inbox buffers (see
+// poisonStale). Off in normal builds; the guard compiles away.
+const debugPoison = false

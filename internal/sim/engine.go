@@ -7,15 +7,20 @@ import (
 	"sort"
 )
 
-// Violation records one instance of a node exceeding its memory bound μ.
+// Violation records a node exceeding its memory bound μ. One Violation
+// is recorded per offending node per run: Round and Words describe the
+// node's first overrun, OverRounds counts every round the node spent
+// over μ.
 type Violation struct {
-	Node  int
-	Round int
-	Words int64 // live words at the moment of the violation
+	Node       int
+	Round      int   // round of the node's first overrun
+	Words      int64 // live words at the first overrun
+	OverRounds int   // total rounds this node exceeded μ during the run
 }
 
 func (v Violation) String() string {
-	return fmt.Sprintf("node %d exceeded μ at round %d with %d words", v.Node, v.Round, v.Words)
+	return fmt.Sprintf("node %d exceeded μ at round %d with %d words (%d rounds over μ)",
+		v.Node, v.Round, v.Words, v.OverRounds)
 }
 
 // Result summarizes one simulated execution.
@@ -33,8 +38,8 @@ type Result struct {
 	// PeakWords holds, per node, the peak live memory in words
 	// (algorithm charges plus inbox).
 	PeakWords []int64
-	// Violations lists every observed μ overrun (empty when μ ≤ 0,
-	// i.e. unbounded).
+	// Violations lists the μ overruns, one entry per offending node in
+	// order of first occurrence (empty when μ ≤ 0, i.e. unbounded).
 	Violations []Violation
 }
 
@@ -54,6 +59,16 @@ func (r *Result) TotalOutputs() int {
 	t := 0
 	for _, o := range r.Outputs {
 		t += len(o)
+	}
+	return t
+}
+
+// OverMuRounds returns the total number of (node, round) pairs that
+// exceeded μ, i.e. the sum of OverRounds over all violations.
+func (r *Result) OverMuRounds() int {
+	t := 0
+	for _, v := range r.Violations {
+		t += v.OverRounds
 	}
 	return t
 }
@@ -110,6 +125,12 @@ type Engine struct {
 
 	messages int64
 	dropped  int64
+
+	// Per-round scratch, reused across rounds to keep the hot loop
+	// allocation-free in steady state.
+	senderOut [][]routed // outbox staged this round, indexed by sender id
+	senders   []int      // ids with a non-empty staged outbox
+	ticked    []int      // ids that ticked (not finished) this round
 }
 
 type signal struct {
@@ -125,14 +146,19 @@ type routed struct {
 }
 
 type nodeRT struct {
-	resume    chan []Incoming
+	resume chan []Incoming
+	// inbox is the node's delivery buffer. It is filled by deliver while
+	// the node is blocked in Tick, handed to the node at resume, and
+	// reused (overwritten) once the node reaches its next Tick — see the
+	// Tick documentation for the resulting aliasing contract.
 	inbox     []Incoming
 	live      int64 // words charged by the algorithm
 	peak      int64
 	ticks     int
 	finished  bool
 	outputs   []any
-	violation bool // already recorded a violation this round (dedup)
+	violation bool // a Violation was already recorded for this node (dedup)
+	vioIdx    int  // index of this node's Violation in the run's slice
 }
 
 // New creates an engine over topo. The zero μ (unset WithMu) means
@@ -175,6 +201,9 @@ func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
 	for i := 0; i < e.n; i++ {
 		e.nodes[i] = &nodeRT{resume: make(chan []Incoming, 1)}
 	}
+	e.senderOut = make([][]routed, e.n)
+	e.senders = make([]int, 0, e.n)
+	e.ticked = make([]int, 0, e.n)
 	for i := 0; i < e.n; i++ {
 		ctx := newCtx(e, i)
 		go runNode(ctx, program)
@@ -182,11 +211,22 @@ func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
 
 	active := e.n
 	for active > 0 {
-		ticked := make([]int, 0, active)
-		staged := make([]routed, 0)
+		e.ticked = e.ticked[:0]
+		e.senders = e.senders[:0]
 		for j := 0; j < active; j++ {
 			s := <-e.done
-			staged = append(staged, s.outbox...)
+			if debugPoison {
+				// The node just passed its Tick barrier (or finished), so
+				// by the Tick aliasing contract it may no longer read the
+				// inbox slice it was handed last round. Poison the retired
+				// buffer so contract violations read sentinels, not
+				// silently stale or clobbered messages.
+				poisonStale(e.nodes[s.id])
+			}
+			if len(s.outbox) > 0 {
+				e.senderOut[s.id] = s.outbox
+				e.senders = append(e.senders, s.id)
+			}
 			if s.finished {
 				e.nodes[s.id].finished = true
 				if s.err != nil && e.runErr == nil && !errors.Is(s.err, errAbort) {
@@ -194,11 +234,11 @@ func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
 					e.aborted = true
 				}
 			} else {
-				ticked = append(ticked, s.id)
+				e.ticked = append(e.ticked, s.id)
 			}
 		}
-		active = len(ticked)
-		e.deliver(staged, &violations)
+		active = len(e.ticked)
+		e.deliver(&violations)
 		e.round++
 		if e.round > e.maxRounds && active > 0 {
 			e.aborted = true
@@ -212,11 +252,18 @@ func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
 				e.runErr = fmt.Errorf("%w: %v", ErrMemory, violations[0])
 			}
 		}
-		sort.Ints(ticked)
-		for _, id := range ticked {
+		sort.Ints(e.ticked)
+		for _, id := range e.ticked {
 			rt := e.nodes[id]
 			in := rt.inbox
-			rt.inbox = nil
+			if len(in) == 0 {
+				in = nil
+			}
+			// Hand the filled buffer to the node but keep the backing
+			// array: the next deliver for this node can only run after
+			// the node has ticked again, so truncating here is safe
+			// under the Tick aliasing contract.
+			rt.inbox = rt.inbox[:0]
 			rt.resume <- in
 		}
 	}
@@ -238,40 +285,53 @@ func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
 	return res, e.runErr
 }
 
-// deliver routes staged messages into inboxes, applies the inbox order,
-// and performs memory accounting for inbox contents.
-func (e *Engine) deliver(staged []routed, violations *[]Violation) {
-	if len(staged) == 0 {
-		return
-	}
-	// Deterministic routing independent of goroutine scheduling.
-	sort.Slice(staged, func(i, j int) bool {
-		if staged[i].to != staged[j].to {
-			return staged[i].to < staged[j].to
+// deliver routes the round's staged outboxes into inboxes, applies the
+// inbox order, and performs memory accounting for inbox contents.
+//
+// Routing is O(m) bucketed rather than a global sort: senders are
+// visited in ascending id (one small sort over sender ids, not over
+// messages) and each sender's messages are appended to the destination
+// inboxes in send order. Every inbox therefore comes out keyed by
+// destination, ordered by sender and stable within a sender — the same
+// order the previous global (to, from) sort produced, but stable and
+// without the O(m log m) comparison sort. Ordering is deterministic
+// regardless of goroutine scheduling.
+func (e *Engine) deliver(violations *[]Violation) {
+	if len(e.senders) > 0 {
+		sort.Ints(e.senders)
+		for _, id := range e.senders {
+			out := e.senderOut[id]
+			e.senderOut[id] = nil
+			for _, m := range out {
+				rt := e.nodes[m.to]
+				if rt.finished {
+					e.dropped++
+					continue
+				}
+				rt.inbox = append(rt.inbox, Incoming{From: m.from, Msg: m.msg})
+				e.messages++
+			}
 		}
-		return staged[i].from < staged[j].from
-	})
-	for _, m := range staged {
-		rt := e.nodes[m.to]
-		if rt.finished {
-			e.dropped++
-			continue
-		}
-		rt.inbox = append(rt.inbox, Incoming{From: m.from, Msg: m.msg})
-		e.messages++
 	}
+	// Inbox ordering and accounting, in node-id order. OrderRandom must
+	// consume the engine RNG once per non-empty inbox in ascending id
+	// order: the determinism golden test pins this draw sequence. Memory
+	// is evaluated for every live node — including nodes that received
+	// nothing — so OverRounds counts charge-only and quiet rounds too.
 	for id, rt := range e.nodes {
-		if len(rt.inbox) == 0 {
+		if rt.finished {
 			continue
 		}
-		switch e.order {
-		case OrderRandom:
-			e.rng.Shuffle(len(rt.inbox), func(i, j int) {
-				rt.inbox[i], rt.inbox[j] = rt.inbox[j], rt.inbox[i]
-			})
-		case OrderReversed:
-			for i, j := 0, len(rt.inbox)-1; i < j; i, j = i+1, j-1 {
-				rt.inbox[i], rt.inbox[j] = rt.inbox[j], rt.inbox[i]
+		if len(rt.inbox) > 0 {
+			switch e.order {
+			case OrderRandom:
+				e.rng.Shuffle(len(rt.inbox), func(i, j int) {
+					rt.inbox[i], rt.inbox[j] = rt.inbox[j], rt.inbox[i]
+				})
+			case OrderReversed:
+				for i, j := 0, len(rt.inbox)-1; i < j; i, j = i+1, j-1 {
+					rt.inbox[i], rt.inbox[j] = rt.inbox[j], rt.inbox[i]
+				}
 			}
 		}
 		total := rt.live + int64(len(rt.inbox))*MsgWords
@@ -279,8 +339,25 @@ func (e *Engine) deliver(staged []routed, violations *[]Violation) {
 			rt.peak = total
 		}
 		if e.mu > 0 && total > e.mu {
-			*violations = append(*violations, Violation{Node: id, Round: e.round, Words: total})
+			if rt.violation {
+				(*violations)[rt.vioIdx].OverRounds++
+			} else {
+				rt.violation = true
+				rt.vioIdx = len(*violations)
+				*violations = append(*violations,
+					Violation{Node: id, Round: e.round, Words: total, OverRounds: 1})
+			}
 		}
+	}
+}
+
+// poisonStale overwrites the retired contents of rt's inbox buffer
+// (len 0, capacity holding last round's delivery) with sentinel values.
+// Only called under the simdebug build tag — see debugPoison.
+func poisonStale(rt *nodeRT) {
+	stale := rt.inbox[:cap(rt.inbox)]
+	for i := range stale {
+		stale[i] = Incoming{From: -1, Msg: Msg{Kind: -1, A: -1, B: -1, C: -1}}
 	}
 }
 

@@ -9,7 +9,7 @@
 // matches the model (local computation is free) and exploits multicore
 // hardware.
 //
-// Model mapping conventions (see DESIGN.md §5):
+// Model mapping conventions (README.md, "Layout"):
 //   - A word is one int64. One Msg is one CONGEST message of O(log n)
 //     bits and is accounted as one word of memory while stored.
 //   - Bandwidth: at most EdgeCap (default 1) messages per directed edge

@@ -172,6 +172,70 @@ func TestMemoryViolationRecorded(t *testing.T) {
 	}
 }
 
+func TestViolationDedupPerNode(t *testing.T) {
+	// Node 1 receives 2 messages per round for 6 rounds while holding 1
+	// charged word: over μ=2 every round. The run must record exactly ONE
+	// Violation for node 1, carrying the first overrun's round and an
+	// over-μ round count of 6 — not one entry per round.
+	const rounds = 6
+	e := New(newPath(3), WithMu(2))
+	res, err := e.Run(func(c *Ctx) {
+		if c.ID() == 1 {
+			c.Charge(1)
+			c.Idle(rounds)
+			return
+		}
+		for r := 0; r < rounds; r++ {
+			c.SendID(1, Msg{})
+			c.Tick()
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 1 {
+		t.Fatalf("violations = %v, want exactly one (deduped per node)", res.Violations)
+	}
+	v := res.Violations[0]
+	if v.Node != 1 || v.Round != 0 || v.Words != 3 {
+		t.Fatalf("first overrun = %+v, want node 1, round 0, 3 words", v)
+	}
+	if v.OverRounds != rounds {
+		t.Fatalf("OverRounds = %d, want %d", v.OverRounds, rounds)
+	}
+	if res.OverMuRounds() != rounds {
+		t.Fatalf("OverMuRounds() = %d, want %d", res.OverMuRounds(), rounds)
+	}
+}
+
+func TestViolationOrderedByFirstOccurrence(t *testing.T) {
+	// Node 2 goes over μ in round 0, node 0 in round 1; Violations must
+	// list node 2 first (order of first occurrence, not node id).
+	e := New(NewComplete(3), WithMu(1))
+	res, err := e.Run(func(c *Ctx) {
+		if c.ID() != 2 {
+			c.SendID(2, Msg{}) // round 0: node 2's inbox = 2 > μ
+		}
+		c.Tick()
+		if c.ID() != 0 {
+			c.SendID(0, Msg{}) // round 1: node 0's inbox = 2 > μ
+		}
+		c.Tick()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 2 {
+		t.Fatalf("violations = %v, want two", res.Violations)
+	}
+	if res.Violations[0].Node != 2 || res.Violations[0].Round != 0 {
+		t.Fatalf("first violation = %+v, want node 2 at round 0", res.Violations[0])
+	}
+	if res.Violations[1].Node != 0 || res.Violations[1].Round != 1 {
+		t.Fatalf("second violation = %+v, want node 0 at round 1", res.Violations[1])
+	}
+}
+
 func TestStrictMemoryAborts(t *testing.T) {
 	e := New(newPath(3), WithMu(1), WithStrictMemory())
 	_, err := e.Run(func(c *Ctx) {
@@ -183,6 +247,35 @@ func TestStrictMemoryAborts(t *testing.T) {
 	})
 	if !errors.Is(err, ErrMemory) {
 		t.Fatalf("err = %v, want ErrMemory", err)
+	}
+}
+
+func TestChargeOnlyViolationCounted(t *testing.T) {
+	// A node over μ purely via Charge — receiving no messages at all —
+	// must still be recorded, and OverRounds must count every quiet round
+	// it stays over, per the documented "every round over μ" semantics.
+	e := New(newPath(3), WithMu(2))
+	res, err := e.Run(func(c *Ctx) {
+		if c.ID() == 1 {
+			c.Charge(5)
+			c.Idle(4)
+			c.Release(5)
+			return
+		}
+		c.Idle(4)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Violations) != 1 {
+		t.Fatalf("violations = %v, want exactly one", res.Violations)
+	}
+	v := res.Violations[0]
+	if v.Node != 1 || v.Round != 0 || v.Words != 5 {
+		t.Fatalf("first overrun = %+v, want node 1, round 0, 5 words", v)
+	}
+	if v.OverRounds != 4 {
+		t.Fatalf("OverRounds = %d, want 4 (one per quiet round over μ)", v.OverRounds)
 	}
 }
 

@@ -14,7 +14,7 @@ func allKinds() map[string]struct {
 	kind       stream.Kind
 	fully      bool
 	composable bool
-}{
+} {
 	return map[string]struct {
 		kind       stream.Kind
 		fully      bool
