@@ -7,6 +7,7 @@ import (
 	"mucongest/internal/bench"
 	"mucongest/internal/graph"
 	"mucongest/internal/sim"
+	"mucongest/internal/topo"
 )
 
 // One benchmark per experiment of README.md's E1–E12 map. Each iteration runs the
@@ -24,43 +25,43 @@ func runTables(b *testing.B, f func() *bench.Table) {
 }
 
 func BenchmarkE1_LowerBoundTightness(b *testing.B) {
-	runTables(b, func() *bench.Table { return bench.E1E2(36, 4, 1) })
+	runTables(b, func() *bench.Table { return bench.E1E2(topo.MustParse("gnp:n=36,p=0.5"), 4, 1) })
 }
 
 func BenchmarkE2_CliqueListingCC(b *testing.B) {
-	runTables(b, func() *bench.Table { return bench.E1E2(32, 3, 1) })
+	runTables(b, func() *bench.Table { return bench.E1E2(topo.MustParse("gnp:n=32,p=0.5"), 3, 1) })
 }
 
 func BenchmarkE3_TriangleMuCongest(b *testing.B) {
-	runTables(b, func() *bench.Table { return bench.E3(40, 1) })
+	runTables(b, func() *bench.Table { return bench.E3(topo.MustParse("gnp:n=40,p=0.5"), 1) })
 }
 
 func BenchmarkE4_PPassSimulation(b *testing.B) {
-	runTables(b, func() *bench.Table { return bench.E4E5(3, 6, 1) })
+	runTables(b, func() *bench.Table { return bench.E4E5(topo.MustParse("cycliques:k=3,size=6"), 1) })
 }
 
 func BenchmarkE5_CycleOfCliques(b *testing.B) {
-	runTables(b, func() *bench.Table { return bench.E4E5(4, 6, 2) })
+	runTables(b, func() *bench.Table { return bench.E4E5(topo.MustParse("cycliques:k=4,size=6"), 2) })
 }
 
 func BenchmarkE6_RandomOrderShuffle(b *testing.B) {
-	runTables(b, func() *bench.Table { return bench.E6(14, 1) })
+	runTables(b, func() *bench.Table { return bench.E6(topo.MustParse("hub:n=14,p=0.4"), 1) })
 }
 
 func BenchmarkE7_OneWayGK(b *testing.B) {
-	runTables(b, func() *bench.Table { return bench.E7(16, 1) })
+	runTables(b, func() *bench.Table { return bench.E7(topo.MustParse("gnp:n=16,p=0.15,conn=1"), 1) })
 }
 
 func BenchmarkE8_FullyMergeableMG(b *testing.B) {
-	runTables(b, func() *bench.Table { return bench.E8(16, 1) })
+	runTables(b, func() *bench.Table { return bench.E8(topo.MustParse("gnp:n=16,p=0.15,conn=1"), 1) })
 }
 
 func BenchmarkE9_ComposableCRPrecis(b *testing.B) {
-	runTables(b, func() *bench.Table { return bench.E9(16, 1) })
+	runTables(b, func() *bench.Table { return bench.E9(topo.MustParse("gnp:n=16,p=0.15,conn=1"), 1) })
 }
 
 func BenchmarkE10_MonochromaticTriangles(b *testing.B) {
-	runTables(b, func() *bench.Table { return bench.E10(24, 1) })
+	runTables(b, func() *bench.Table { return bench.E10(topo.MustParse("gnp:n=24,p=0.5"), 1) })
 }
 
 // The BenchmarkEngineRound* family isolates the engine round loop
@@ -103,9 +104,9 @@ func BenchmarkEngineRoundReversed64(b *testing.B) {
 }
 
 func BenchmarkE11_RoutingTradeoff(b *testing.B) {
-	runTables(b, func() *bench.Table { return bench.E11E12(28, 1) })
+	runTables(b, func() *bench.Table { return bench.E11E12(topo.MustParse("gnp:n=28,p=0.5"), 1) })
 }
 
 func BenchmarkE12_DecompTradeoff(b *testing.B) {
-	runTables(b, func() *bench.Table { return bench.E11E12(32, 2) })
+	runTables(b, func() *bench.Table { return bench.E11E12(topo.MustParse("gnp:n=32,p=0.5"), 2) })
 }

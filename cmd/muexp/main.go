@@ -1,25 +1,38 @@
-// Command muexp runs the paper-reproduction experiments (README.md,
-// experiments E1–E12) and prints one table per experiment with theory
-// vs measured columns.
+// Command muexp runs the paper-reproduction experiments (EXPERIMENTS.md,
+// experiments E1–E12) and emits one table per experiment with theory
+// vs measured columns, or the structured run records as CSV/JSON.
 //
 // Usage:
 //
-//	muexp [-seed N] [-exp E3] [-parallel N]
+//	muexp [-seed N] [-exp E3] [-parallel N] [-format table|csv|json] [-out FILE] [-topo SPEC]
 //
 // By default every experiment runs, spread over a worker pool of
 // GOMAXPROCS goroutines. Each table cell derives its own seed from
-// -seed, so the output is byte-identical for every -parallel value.
+// -seed, so the output — rendered tables and serialized records alike —
+// is byte-identical for every -parallel value.
+//
+// -format selects the emitter: "table" renders the human-readable
+// tables; "csv" and "json" serialize the structured bench.Records
+// (schema mucongest.records/v1). -out writes to a file instead of
+// stdout. -topo re-runs the selected experiments on any registered
+// topology family, e.g. -topo torus:rows=8,cols=8 (see `mugraph -kinds`
+// for the registry).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
 	"os"
 	"runtime"
 	"strings"
 
 	"mucongest/internal/bench"
+	"mucongest/internal/topo"
 )
+
+func seededRNG(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
 
 func main() {
 	specs := bench.Specs()
@@ -29,14 +42,88 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id ("+valid+") or 'all'")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
 		"number of experiment cells to run concurrently")
+	format := flag.String("format", "table", "output format: table | csv | json")
+	out := flag.String("out", "", "write output to this file instead of stdout")
+	topoSpec := flag.String("topo", "",
+		"topology spec override, family:k=v,... (families: "+
+			strings.Join(topo.FamilyNames(), ", ")+")")
 	flag.Parse()
 
+	if *format != "table" && *format != "csv" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "unknown format %q; valid: table, csv, json\n", *format)
+		os.Exit(2)
+	}
 	selected, ok := bench.SelectSpecs(specs, *exp)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s, all\n", *exp, valid)
 		os.Exit(2)
 	}
-	for _, t := range bench.RunParallel(selected, *seed, *parallel) {
-		t.Fprint(os.Stdout)
+	if *topoSpec != "" {
+		tp, err := topo.Parse(*topoSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		// Build once up front so spec value errors (e.g. torus:rows=2)
+		// surface as a clean message, not a worker panic mid-grid.
+		if _, err := tp.Build(seededRNG(*seed)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		selected = bench.OverrideTopo(selected, tp)
 	}
+
+	var w io.Writer = os.Stdout
+	var outFile *os.File
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		outFile = f
+		w = f
+	}
+	// Table.Fprint discards fmt errors, so track the first write failure
+	// here: a truncated -out file must not exit 0.
+	ew := &errWriter{w: w}
+
+	tables := bench.RunParallel(selected, *seed, *parallel)
+	var err error
+	switch *format {
+	case "table":
+		for _, t := range tables {
+			t.Fprint(ew)
+		}
+	case "csv":
+		err = bench.WriteRecordsCSV(ew, bench.Records(tables))
+	case "json":
+		err = bench.WriteRecordsJSON(ew, bench.Records(tables))
+	}
+	if err == nil {
+		err = ew.err
+	}
+	if outFile != nil {
+		if cerr := outFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// errWriter passes writes through and remembers the first error.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	n, err := e.w.Write(p)
+	if err != nil && e.err == nil {
+		e.err = err
+	}
+	return n, err
 }

@@ -1,13 +1,20 @@
-// Command mugraph generates and inspects the workload graphs used by
-// the experiments: node/edge counts, degree extremes, diameter, lazy
-// random-walk mixing time, and triangle count.
+// Command mugraph generates and inspects the workload graphs of the
+// topology registry (internal/topo): node/edge counts, degree extremes,
+// diameter, lazy random-walk mixing time, and triangle count.
 //
-// Usage:
+// -kind takes a registry spec — a bare family name (defaults apply) or
+// family:key=value,...:
 //
 //	mugraph -kind gnp -n 64 -p 0.5
 //	mugraph -kind cycliques -k 4 -size 8
-//	mugraph -kind hub -n 40 -p 0.3
-//	mugraph -kind regular -n 40 -d 8
+//	mugraph -kind torus:rows=8,cols=8
+//	mugraph -kind hypercube -dim 7
+//	mugraph -kind powerlaw:n=64,attach=3
+//	mugraph -kinds                       # list every family and its parameters
+//
+// Explicit flags (-n, -p, -k, -size, -d, -rows, -cols, -dim, -attach,
+// -conn) override the spec's arguments when the family declares the
+// matching parameter; unknown families or parameters exit non-zero.
 package main
 
 import (
@@ -18,39 +25,66 @@ import (
 
 	"mucongest/internal/clique"
 	"mucongest/internal/expander"
-	"mucongest/internal/graph"
+	"mucongest/internal/topo"
 )
 
 func main() {
-	kind := flag.String("kind", "gnp", "gnp | cycliques | hub | regular | star | barbell")
-	n := flag.Int("n", 48, "node count")
-	p := flag.Float64("p", 0.5, "edge probability")
-	k := flag.Int("k", 4, "cliques in the cycle (cycliques)")
-	size := flag.Int("size", 8, "clique size (cycliques) / half size (barbell)")
-	d := flag.Int("d", 8, "degree (regular)")
+	kind := flag.String("kind", "gnp", "topology spec: family or family:k=v,...")
+	list := flag.Bool("kinds", false, "list the registered families and exit")
 	seed := flag.Int64("seed", 1, "random seed")
+	// Per-parameter override flags, applied only when explicitly set and
+	// declared by the chosen family.
+	flagFor := map[string]*string{}
+	for _, p := range []struct{ name, usage string }{
+		{"n", "node count"},
+		{"p", "edge probability"},
+		{"k", "cliques in the cycle (cycliques)"},
+		{"size", "clique size (cycliques) / blob size (barbell)"},
+		{"d", "degree (regular)"},
+		{"rows", "rows (grid, torus)"},
+		{"cols", "columns (grid, torus)"},
+		{"dim", "dimension (hypercube)"},
+		{"attach", "edges per new node (powerlaw)"},
+		{"conn", "resample until connected, 0/1 (gnp)"},
+	} {
+		flagFor[p.name] = flag.String(p.name, "", p.usage)
+	}
 	flag.Parse()
 
-	rng := rand.New(rand.NewSource(*seed))
-	var g *graph.Graph
-	switch *kind {
-	case "gnp":
-		g = graph.Gnp(*n, *p, rng)
-	case "cycliques":
-		g = graph.CycleOfCliques(*k, *size)
-	case "hub":
-		g = graph.HubAndBlob(*n, *p, rng)
-	case "regular":
-		g = graph.RandomRegular(*n, *d, rng)
-	case "star":
-		g = graph.Star(*n)
-	case "barbell":
-		g = graph.BarbellExpanders(*size, *p, rng)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown kind %q\n", *kind)
+	if *list {
+		for _, f := range topo.Families() {
+			fmt.Printf("%-10s %s\n", f.Name, f.Doc)
+			for _, p := range f.Params {
+				fmt.Printf("    %-8s default %-6s %s\n", p.Name, p.Default, p.Doc)
+			}
+		}
+		return
+	}
+
+	spec, err := topo.Parse(*kind)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	fmt.Printf("kind      %s\n", *kind)
+	// Merge explicitly-set flags the chosen family declares; flags
+	// irrelevant to the family are ignored, as the pre-registry CLI did.
+	for _, f := range topo.Families() {
+		if f.Name != spec.Family {
+			continue
+		}
+		for _, p := range f.Params {
+			if val := flagFor[p.Name]; val != nil && *val != "" {
+				spec = spec.With(p.Name, *val)
+			}
+		}
+	}
+
+	g, err := spec.Build(rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	fmt.Printf("topo      %s\n", spec)
 	fmt.Printf("n         %d\n", g.N())
 	fmt.Printf("m         %d\n", g.M())
 	fmt.Printf("maxDeg Δ  %d\n", g.MaxDegree())

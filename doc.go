@@ -2,8 +2,10 @@
 // Networks" (Ben Basat, Censor-Hillel, Chang, Han, Leitersdorf,
 // Schwartzman — SPAA 2025): the μ-CONGEST model, bounded-memory clique
 // listing, and the streaming-simulation toolbox. README.md documents
-// the build, the muexp/mugraph commands and the experiment map E1–E12;
-// the implementation lives under internal/ and is exercised by
-// cmd/muexp, the examples/ programs, and the benchmarks in
-// bench_test.go.
+// the build and the muexp/mugraph commands; DESIGN.md is the
+// architecture tour (engine round loop, determinism, record and
+// topology layers); EXPERIMENTS.md maps experiments E1–E12 to the
+// paper's theorems with exact invocations and the record schema. The
+// implementation lives under internal/ and is exercised by cmd/muexp,
+// the examples/ programs, and the benchmarks in bench_test.go.
 package mucongest

@@ -10,15 +10,18 @@ import (
 	"fmt"
 	"math/rand"
 
-	"mucongest/internal/graph"
 	"mucongest/internal/mergesim"
 	"mucongest/internal/sim"
 	"mucongest/internal/sketch"
+	"mucongest/internal/topo"
 )
 
 func main() {
 	rng := rand.New(rand.NewSource(5))
-	g := graph.GnpConnected(36, 0.12, rng)
+	g, err := topo.MustParse("gnp:n=36,p=0.12,conn=1").Build(rng)
+	if err != nil {
+		panic(err)
+	}
 	z := rand.NewZipf(rng, 1.3, 1, 99)
 	items := make([][]int64, g.N())
 	exact := map[int64]int64{}

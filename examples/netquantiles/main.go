@@ -10,16 +10,19 @@ import (
 	"fmt"
 	"math/rand"
 
-	"mucongest/internal/graph"
 	"mucongest/internal/lowerbound"
 	"mucongest/internal/mergesim"
 	"mucongest/internal/sim"
 	"mucongest/internal/sketch"
+	"mucongest/internal/topo"
 )
 
 func main() {
 	rng := rand.New(rand.NewSource(9))
-	g := graph.GnpConnected(40, 0.12, rng)
+	g, err := topo.MustParse("gnp:n=40,p=0.12,conn=1").Build(rng)
+	if err != nil {
+		panic(err)
+	}
 	items := make([][]int64, g.N())
 	var all []int64
 	for v := range items {

@@ -10,13 +10,16 @@ import (
 	"math/rand"
 
 	"mucongest/internal/congest"
-	"mucongest/internal/graph"
 	"mucongest/internal/sim"
+	"mucongest/internal/topo"
 )
 
 func main() {
 	rng := rand.New(rand.NewSource(42))
-	g := graph.GnpConnected(32, 0.15, rng)
+	g, err := topo.MustParse("gnp:n=32,p=0.15,conn=1").Build(rng)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("graph: n=%d m=%d Δ=%d diameter=%d\n",
 		g.N(), g.M(), g.MaxDegree(), g.Diameter())
 

@@ -11,12 +11,17 @@ import (
 	"math/rand"
 
 	"mucongest/internal/graph"
+	"mucongest/internal/topo"
 	"mucongest/internal/trianglestats"
 )
 
 func main() {
 	rng := rand.New(rand.NewSource(12))
-	g, colors := graph.ColoredGnp(40, 0.45, 8, []float64{18, 6, 2, 1, 1, 1, 1, 1}, rng)
+	g, err := topo.MustParse("gnp:n=40,p=0.45").Build(rng)
+	if err != nil {
+		panic(err)
+	}
+	colors := graph.ColorEdges(g, 8, []float64{18, 6, 2, 1, 1, 1, 1, 1}, rng)
 	fmt.Printf("colored graph: n=%d m=%d Δ=%d colors=8 (planted heavy colors 1,2)\n",
 		g.N(), g.M(), g.MaxDegree())
 

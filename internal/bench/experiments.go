@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"mucongest/internal/clique"
 	"mucongest/internal/graph"
@@ -12,26 +13,56 @@ import (
 	"mucongest/internal/sim"
 	"mucongest/internal/sketch"
 	"mucongest/internal/streamsim"
+	"mucongest/internal/topo"
 	"mucongest/internal/trianglestats"
 )
+
+// Every runner takes the workload-graph topology as a topo.Spec (its
+// default lives in Specs; cmd/muexp's -topo flag substitutes any other
+// family), builds the graph from it deterministically, and emits one
+// structured Record per simulated execution alongside the rendered
+// table row.
+
+// buildGraph builds tp with the runner's rng, panicking on an invalid
+// spec — specs reach runners validated (from Specs or a parsed -topo).
+func buildGraph(exp string, tp topo.Spec, rng *rand.Rand) *graph.Graph {
+	g, err := tp.Build(rng)
+	if err != nil {
+		panic(fmt.Sprintf("bench: %s: %v", exp, err))
+	}
+	return g
+}
+
+// mustConnected rejects topologies the experiment's aggregation
+// protocols cannot run on.
+func mustConnected(exp string, tp topo.Spec, g *graph.Graph) {
+	if !g.Connected() {
+		panic(fmt.Sprintf("bench: %s needs a connected topology, but %s produced a "+
+			"disconnected graph (use conn=1 or a deterministic family)", exp, tp))
+	}
+}
 
 // E1E2 runs k-clique listing in the μ-Congested-Clique over a μ sweep
 // (Theorem 2.10 upper bound, Theorem 1.1 lower bound). One table for
 // both experiments: measured rounds between the two theory columns.
-func E1E2(n int, k int, seed int64) *Table {
+// The input graph comes from tp; communication is all-to-all
+// regardless (the Congested-Clique model).
+func E1E2(tp topo.Spec, k int, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	g := buildGraph("E1/E2", tp, rng)
+	n := g.N()
 	t := &Table{
 		ID:     "E1/E2",
-		Title:  fmt.Sprintf("%d-clique listing in μ-Congested-Clique, n=%d, G(n,1/2)", k, n),
+		Title:  fmt.Sprintf("%d-clique listing in μ-Congested-Clique, n=%d, %s", k, n, tp),
 		Claim:  "Θ(n^(k-2)/μ^(k/2-1)) rounds (Thm 1.1 LB, Thm 2.10 UB)",
 		Header: []string{"mu", "rounds", "LB(Thm1.1)", "UB(Thm2.10)", "rounds/UB", "cliques", "peakWords"},
 	}
-	rng := rand.New(rand.NewSource(seed))
-	g := graph.Gnp(n, 0.5, rng)
 	want := len(clique.ListAll(g, k))
 	maxMu := int64(math.Pow(float64(n), 2-2/float64(k)))
 	for mu := int64(n); mu <= maxMu; mu *= 2 {
 		router := clique.NewOracleRouter(n)
 		e := sim.New(sim.NewComplete(n), sim.WithSeed(seed))
+		start := time.Now()
 		res, err := e.Run(clique.CongestedCliqueKCliques(g, k, mu, router))
 		if err != nil {
 			panic(err)
@@ -41,6 +72,7 @@ func E1E2(n int, k int, seed int64) *Table {
 		lb := lowerbound.KCliqueListingRounds(float64(n), k, float64(mu), float64(n))
 		t.AddRow(mu, res.Rounds, lb, ub, float64(res.Rounds)/ub,
 			fmt.Sprintf("%d/%d", got, want), res.MaxPeakWords())
+		t.AddRecord(recordOf("E1/E2", tp, mu, P("k", k, "mu", mu), res, time.Since(start)))
 	}
 	t.Notes = append(t.Notes,
 		"rounds/UB should stay near-constant across the μ sweep (shape match)")
@@ -48,21 +80,28 @@ func E1E2(n int, k int, seed int64) *Table {
 }
 
 // E3 sweeps μ for the μ-CONGEST triangle listing (Theorem 1.2).
-func E3(n int, seed int64) *Table {
+func E3(tp topo.Spec, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	g := buildGraph("E3", tp, rng)
+	n := g.N()
 	t := &Table{
 		ID:     "E3",
-		Title:  fmt.Sprintf("triangle listing in μ-CONGEST, n=%d, G(n,1/2)", n),
+		Title:  fmt.Sprintf("triangle listing in μ-CONGEST, n=%d, %s", n, tp),
 		Claim:  "n^(1+o(1))/√μ rounds (Thm 1.2); Ω(n/√μ) (Thm 1.1)",
 		Header: []string{"mu", "rounds", "rounds*sqrt(mu)/n", "triangles", "peakWords"},
 	}
-	rng := rand.New(rand.NewSource(seed))
-	g := graph.Gnp(n, 0.5, rng)
 	want := len(clique.ListAll(g, 3))
 	// Sweep from μ = Δ (the model's base assumption) to n^(4/3): below
 	// ~2m̃/|U|^(2/3) the √(m̃/μ) bucket term governs; above it the
 	// A-regime floor |U|^(1/3) takes over and rounds flatten.
 	maxMu := int64(math.Pow(float64(n), 4.0/3))
-	for mu := int64(g.MaxDegree()); mu <= maxMu; mu *= 2 {
+	// An edgeless override graph has Δ=0, which would loop at μ=0 forever.
+	startMu := int64(g.MaxDegree())
+	if startMu < 1 {
+		startMu = 1
+	}
+	for mu := startMu; mu <= maxMu; mu *= 2 {
+		start := time.Now()
 		tris, res, err := clique.RunMuCongestTriangles(
 			clique.MuTriangleConfig{G: g, Mu: mu}, sim.WithSeed(seed))
 		if err != nil {
@@ -71,39 +110,44 @@ func E3(n int, seed int64) *Table {
 		norm := float64(res.Rounds) * math.Sqrt(float64(mu)) / float64(n)
 		t.AddRow(mu, res.Rounds, norm,
 			fmt.Sprintf("%d/%d", len(tris), want), res.MaxPeakWords())
+		t.AddRecord(recordOf("E3", tp, mu, P("mu", mu), res, time.Since(start)))
 	}
 	t.Notes = append(t.Notes,
 		"rounds·√μ/n flat ⇒ the 1/√μ tradeoff of Thm 1.2 holds (polylog drift expected)")
 	return t
 }
 
-// E4E5 compares naive vs cached p-pass simulation on the
+// E4E5 compares naive vs cached p-pass simulation, by default on the
 // cycle-of-cliques (Theorems 1.3 and 1.4).
-func E4E5(cliques, size int, seed int64) *Table {
-	g := graph.CycleOfCliques(cliques, size)
+func E4E5(tp topo.Spec, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	g := buildGraph("E4/E5", tp, rng)
 	n, delta := g.N(), g.MaxDegree()
 	t := &Table{
 		ID:    "E4/E5",
-		Title: fmt.Sprintf("p-pass simulation, cycle-of-cliques n=%d Δ=%d", n, delta),
+		Title: fmt.Sprintf("p-pass simulation, %s n=%d Δ=%d", tp, n, delta),
 		Claim: "naive Ω(n·Δ·p) when μ≤n/4 (Thm 1.4) vs cached O(n(Δ+p)) (Thm 1.3)",
 		Header: []string{"p", "naive", "cached", "speedup",
 			"theoryNaive", "theoryCached"},
 	}
-	rng := rand.New(rand.NewSource(seed))
 	labels := map[[2]int]int64{}
 	for _, e := range g.Edges() {
 		labels[[2]int{e.U, e.V}] = rng.Int63n(64)
 	}
 	for _, p := range []int{1, 2, 4, 8} {
 		mk := func() streamsim.Client { return streamsim.NewMultipassSelect(1, 0, 63, 2, p) }
+		start := time.Now()
 		_, resN, err := streamsim.RunPPass(g, labels, mk, false, sim.WithSeed(seed))
 		if err != nil {
 			panic(err)
 		}
+		t.AddRecord(recordOf("E4/E5", tp, 0, P("p", p, "mode", "naive"), resN, time.Since(start)))
+		start = time.Now()
 		_, resC, err := streamsim.RunPPass(g, labels, mk, true, sim.WithSeed(seed))
 		if err != nil {
 			panic(err)
 		}
+		t.AddRecord(recordOf("E4/E5", tp, 0, P("p", p, "mode", "cached"), resC, time.Since(start)))
 		t.AddRow(p, resN.Rounds, resC.Rounds,
 			float64(resN.Rounds)/float64(resC.Rounds),
 			lowerbound.StreamingSimulationRounds(float64(n), float64(delta), float64(p)),
@@ -117,13 +161,13 @@ func E4E5(cliques, size int, seed int64) *Table {
 
 // E6 measures the random-order shuffle (Theorem 1.5): rounds vs the
 // O(n(Δ+p)) budget plus a first-position uniformity χ².
-func E6(n int, seed int64) *Table {
+func E6(tp topo.Spec, seed int64) *Table {
 	rng := rand.New(rand.NewSource(seed))
-	g := graph.HubAndBlob(n, 0.4, rng)
-	delta := g.MaxDegree()
+	g := buildGraph("E6", tp, rng)
+	n, delta := g.N(), g.MaxDegree()
 	t := &Table{
 		ID:     "E6",
-		Title:  fmt.Sprintf("random-order stream (Thm 1.5), hub graph n=%d Δ=%d", n, delta),
+		Title:  fmt.Sprintf("random-order stream (Thm 1.5), %s n=%d Δ=%d", tp, n, delta),
 		Claim:  "O(n(Δ+p)) rounds, μ = M+n+Δ²; output order uniform",
 		Header: []string{"p", "rounds", "theory n(Δ+p)", "ratio"},
 	}
@@ -133,12 +177,14 @@ func E6(n int, seed int64) *Table {
 	}
 	for _, p := range []int{1, 2, 4} {
 		mk := func() streamsim.Client { return streamsim.NewRecorder(p) }
+		start := time.Now()
 		_, res, err := streamsim.RunRandomOrder(g, labels, mk, sim.WithSeed(seed))
 		if err != nil {
 			panic(err)
 		}
 		theory := float64(n) * float64(delta+p)
 		t.AddRow(p, res.Rounds, theory, float64(res.Rounds)/theory)
+		t.AddRecord(recordOf("E6", tp, 0, P("p", p), res, time.Since(start)))
 	}
 	// Uniformity: χ² of the first stream position over a small star.
 	star := graph.Star(5)
@@ -169,14 +215,15 @@ func E6(n int, seed int64) *Table {
 }
 
 // E7 sweeps |I| for the one-way mergeable GK simulation (Theorem 1.6).
-func E7(n int, seed int64) *Table {
+func E7(tp topo.Spec, seed int64) *Table {
 	rng := rand.New(rand.NewSource(seed))
-	g := graph.GnpConnected(n, 0.15, rng)
-	D := g.Diameter()
+	g := buildGraph("E7", tp, rng)
+	mustConnected("E7", tp, g)
+	n, D := g.N(), g.Diameter()
 	eps := 0.1
 	t := &Table{
 		ID:     "E7",
-		Title:  fmt.Sprintf("one-way mergeable GK quantiles (Thm 1.6), G(n,.15) n=%d D=%d ε=%.2f", n, D, eps),
+		Title:  fmt.Sprintf("one-way mergeable GK quantiles (Thm 1.6), %s n=%d D=%d ε=%.2f", tp, n, D, eps),
 		Claim:  "O(min{nM, √(|I|M)} + D) rounds; quantile error ≤ ε·m",
 		Header: []string{"|I|", "rounds", "theory", "ratio", "medianErr/m"},
 	}
@@ -192,6 +239,7 @@ func E7(n int, seed int64) *Table {
 		}
 		total := int64(len(all))
 		kind := sketch.NewGKKind(eps, total)
+		start := time.Now()
 		sum, res, err := mergesim.RunOneWay(g, items, kind, sim.WithSeed(seed))
 		if err != nil {
 			panic(err)
@@ -207,6 +255,7 @@ func E7(n int, seed int64) *Table {
 		rankErr := math.Abs(float64(below)-0.5*float64(total)) / float64(total)
 		theory := lowerbound.OneWayMergeRounds(float64(n), float64(kind.M()), float64(total), float64(D))
 		t.AddRow(total, res.Rounds, theory, float64(res.Rounds)/theory, rankErr)
+		t.AddRecord(recordOf("E7", tp, 0, P("items", total), res, time.Since(start)))
 	}
 	t.Notes = append(t.Notes, "ratio steady across the |I| sweep ⇒ √(|I|·M) scaling")
 	return t
@@ -214,17 +263,17 @@ func E7(n int, seed int64) *Table {
 
 // E8 sweeps μ for the fully-mergeable MG simulation (Theorem 1.7) and
 // checks the heavy-hitter pipeline with exact refinement.
-func E8(n int, seed int64) *Table {
+func E8(tp topo.Spec, seed int64) *Table {
 	rng := rand.New(rand.NewSource(seed))
-	g := graph.GnpConnected(n, 0.15, rng)
-	D := g.Diameter()
-	delta := g.MaxDegree()
+	g := buildGraph("E8", tp, rng)
+	mustConnected("E8", tp, g)
+	n, D, delta := g.N(), g.Diameter(), g.MaxDegree()
 	k := 9
 	kind := sketch.NewMGKind(k)
 	M := kind.M()
 	t := &Table{
 		ID:     "E8",
-		Title:  fmt.Sprintf("fully-mergeable Misra–Gries (Thm 1.7), n=%d Δ=%d D=%d k=%d", n, delta, D, k),
+		Title:  fmt.Sprintf("fully-mergeable Misra–Gries (Thm 1.7), %s n=%d Δ=%d D=%d k=%d", tp, n, delta, D, k),
 		Claim:  "O(log(min{nM,|I|})·(M·log(Δ/(μ/M))+D)) rounds; error ≤ m/(k+1)",
 		Header: []string{"mu", "rounds", "theory", "maxErr", "bound m/(k+1)"},
 	}
@@ -241,6 +290,7 @@ func E8(n int, seed int64) *Table {
 		}
 	}
 	for _, mu := range []int64{0, int64(4 * M), int64(16 * M)} {
+		start := time.Now()
 		sum, res, err := mergesim.RunFully(g, items, kind, mu, sim.WithSeed(seed))
 		if err != nil {
 			panic(err)
@@ -259,19 +309,21 @@ func E8(n int, seed int64) *Table {
 		theory := lowerbound.FullyMergeRounds(float64(n), float64(M), float64(m),
 			float64(D), float64(delta), float64(muEff))
 		t.AddRow(mu, res.Rounds, theory, maxErr, m/int64(k+1))
+		t.AddRecord(recordOf("E8", tp, mu, P("k", k, "mu", mu), res, time.Since(start)))
 	}
 	t.Notes = append(t.Notes, "rounds drop as μ grows (merge groups of μ/2M summaries)")
 	return t
 }
 
 // E9 runs the composable CR-Precis entropy estimation (Theorem 1.8).
-func E9(n int, seed int64) *Table {
+func E9(tp topo.Spec, seed int64) *Table {
 	rng := rand.New(rand.NewSource(seed))
-	g := graph.GnpConnected(n, 0.15, rng)
-	D := g.Diameter()
+	g := buildGraph("E9", tp, rng)
+	mustConnected("E9", tp, g)
+	n, D := g.N(), g.Diameter()
 	t := &Table{
 		ID:     "E9",
-		Title:  fmt.Sprintf("composable CR-Precis entropy (Thm 1.8), n=%d D=%d", n, D),
+		Title:  fmt.Sprintf("composable CR-Precis entropy (Thm 1.8), %s n=%d D=%d", tp, n, D),
 		Claim:  "O(log(min{nM,|I|})·(M+D)) rounds; Ĥ sandwiched around H",
 		Header: []string{"rows t", "M", "rounds", "theory", "H", "Ĥ", "Ĥ/H"},
 	}
@@ -295,6 +347,7 @@ func E9(n int, seed int64) *Table {
 	H := ex.Entropy()
 	for _, rows := range []int{2, 4, 8} {
 		kind := sketch.NewCRPrecisKind(67, rows)
+		start := time.Now()
 		sum, res, err := mergesim.RunComposable(g, items, kind, sim.WithSeed(seed))
 		if err != nil {
 			panic(err)
@@ -303,22 +356,28 @@ func E9(n int, seed int64) *Table {
 		Hhat := cr.EstimateEntropy(uni)
 		theory := lowerbound.ComposableMergeRounds(float64(n), float64(kind.M()), float64(m), float64(D))
 		t.AddRow(rows, kind.M(), res.Rounds, theory, H, Hhat, Hhat/H)
+		t.AddRecord(recordOf("E9", tp, 0, P("rows", rows), res, time.Since(start)))
 	}
 	t.Notes = append(t.Notes, "Ĥ/H → 1 as the sketch widens (prime base > universe ⇒ exact)")
 	return t
 }
 
-// E10 runs the end-to-end monochromatic-triangle census (§1.2.2).
-func E10(n int, seed int64) *Table {
+// E10 runs the end-to-end monochromatic-triangle census (§1.2.2) on tp
+// with 6 edge colors (two planted heavy).
+func E10(tp topo.Spec, seed int64) *Table {
 	rng := rand.New(rand.NewSource(seed))
-	g, colors := graph.ColoredGnp(n, 0.5, 6, []float64{15, 3, 1, 1, 1, 1}, rng)
+	g := buildGraph("E10", tp, rng)
+	mustConnected("E10", tp, g)
+	colors := graph.ColorEdges(g, 6, []float64{15, 3, 1, 1, 1, 1}, rng)
+	n := g.N()
 	t := &Table{
 		ID:     "E10",
-		Title:  fmt.Sprintf("frequent monochromatic triangles (§1.2.2), n=%d c=6", n),
+		Title:  fmt.Sprintf("frequent monochromatic triangles (§1.2.2), %s n=%d c=6", tp, n),
 		Claim:  "n^(1+o(1))/√μ + log m·(ε⁻¹·log(Δε⁻¹/μ)+D) rounds",
 		Header: []string{"mu", "listRounds", "sketchRounds", "refineRounds", "heavyColors", "monoTris"},
 	}
 	for _, mu := range []int64{int64(n), int64(4 * n)} {
+		start := time.Now()
 		res, err := trianglestats.Run(trianglestats.Config{
 			G: g, Colors: colors, Mu: mu, Eps: 0.2, Seed: seed,
 		})
@@ -327,31 +386,43 @@ func E10(n int, seed int64) *Table {
 		}
 		t.AddRow(mu, res.ListingRounds, res.SketchRounds, res.RefineRounds,
 			fmt.Sprint(res.HeavyColors), res.MonoTriangles)
+		t.AddRecord(Record{
+			Exp:       "E10",
+			Topo:      tp.String(),
+			Params:    P("mu", mu, "eps", 0.2),
+			Mu:        mu,
+			Rounds:    res.ListingRounds + res.SketchRounds + res.RefineRounds,
+			Messages:  res.Messages,
+			PeakWords: res.PeakWords,
+			WallTime:  time.Since(start),
+		})
 	}
 	return t
 }
 
 // E11E12 sweeps the Lemma A.2/A.3 round–space tradeoff parameter α in
 // the triangle listing: space ÷α at the cost of rounds ×α².
-func E11E12(n int, seed int64) *Table {
+func E11E12(tp topo.Spec, seed int64) *Table {
 	rng := rand.New(rand.NewSource(seed))
-	g := graph.Gnp(n, 0.5, rng)
+	g := buildGraph("E11/E12", tp, rng)
+	n := g.N()
 	t := &Table{
 		ID:     "E11/E12",
-		Title:  fmt.Sprintf("round–space tradeoff α (Lemmas A.2/A.3), triangle listing n=%d", n),
+		Title:  fmt.Sprintf("round–space tradeoff α (Lemmas A.2/A.3), triangle listing %s n=%d", tp, n),
 		Claim:  "space ⌈deg/α⌉·polylog, rounds ×α²",
 		Header: []string{"alpha", "rounds", "peakWords", "rounds/alpha^2"},
 	}
 	for _, alpha := range []int{1, 2, 4} {
-		tris, res, err := clique.RunMuCongestTriangles(clique.MuTriangleConfig{
+		start := time.Now()
+		_, res, err := clique.RunMuCongestTriangles(clique.MuTriangleConfig{
 			G: g, Mu: int64(n), Alpha: alpha,
 		}, sim.WithSeed(seed))
 		if err != nil {
 			panic(err)
 		}
-		_ = tris
 		t.AddRow(alpha, res.Rounds, res.MaxPeakWords(),
 			float64(res.Rounds)/float64(alpha*alpha))
+		t.AddRecord(recordOf("E11/E12", tp, int64(n), P("alpha", alpha), res, time.Since(start)))
 	}
 	t.Notes = append(t.Notes,
 		"rounds/α² roughly flat ⇒ the Lemma A.2 round inflation",

@@ -3,34 +3,54 @@ package bench
 import (
 	"hash/fnv"
 	"sync"
+
+	"mucongest/internal/topo"
 )
 
 // Spec describes one independently runnable experiment cell: the grid of
 // README.md’s experiment map decomposed into units a worker pool can schedule. ID
 // names the cell (and feeds per-cell seed derivation); Exps lists the
 // experiment ids (E1..E12) the cell reproduces, so cmd/muexp can select
-// cells by experiment.
+// cells by experiment; Topo is the topology spec of the cell's workload
+// graph (OverrideTopo substitutes another, re-running the experiment on
+// any registered family).
 type Spec struct {
 	ID   string
 	Exps []string
-	Run  func(seed int64) *Table
+	Topo string
+	Run  func(tp topo.Spec, seed int64) *Table
 }
 
 // Specs returns the full experiment grid at cmd/muexp's default scales,
 // one Spec per table.
 func Specs() []Spec {
 	return []Spec{
-		{"E1/E2-k3", []string{"E1", "E2"}, func(s int64) *Table { return E1E2(48, 3, s) }},
-		{"E1/E2-k4", []string{"E1", "E2"}, func(s int64) *Table { return E1E2(36, 4, s) }},
-		{"E3", []string{"E3"}, func(s int64) *Table { return E3(96, s) }},
-		{"E4/E5", []string{"E4", "E5"}, func(s int64) *Table { return E4E5(4, 8, s) }},
-		{"E6", []string{"E6"}, func(s int64) *Table { return E6(20, s) }},
-		{"E7", []string{"E7"}, func(s int64) *Table { return E7(24, s) }},
-		{"E8", []string{"E8"}, func(s int64) *Table { return E8(24, s) }},
-		{"E9", []string{"E9"}, func(s int64) *Table { return E9(24, s) }},
-		{"E10", []string{"E10"}, func(s int64) *Table { return E10(32, s) }},
-		{"E11/E12", []string{"E11", "E12"}, func(s int64) *Table { return E11E12(40, s) }},
+		{"E1/E2-k3", []string{"E1", "E2"}, "gnp:n=48,p=0.5",
+			func(tp topo.Spec, s int64) *Table { return E1E2(tp, 3, s) }},
+		{"E1/E2-k4", []string{"E1", "E2"}, "gnp:n=36,p=0.5",
+			func(tp topo.Spec, s int64) *Table { return E1E2(tp, 4, s) }},
+		{"E3", []string{"E3"}, "gnp:n=96,p=0.5", E3},
+		{"E4/E5", []string{"E4", "E5"}, "cycliques:k=4,size=8", E4E5},
+		{"E6", []string{"E6"}, "hub:n=20,p=0.4", E6},
+		{"E7", []string{"E7"}, "gnp:n=24,p=0.15,conn=1", E7},
+		{"E8", []string{"E8"}, "gnp:n=24,p=0.15,conn=1", E8},
+		{"E9", []string{"E9"}, "gnp:n=24,p=0.15,conn=1", E9},
+		{"E10", []string{"E10"}, "gnp:n=32,p=0.5", E10},
+		{"E11/E12", []string{"E11", "E12"}, "gnp:n=40,p=0.5", E11E12},
 	}
+}
+
+// OverrideTopo returns a copy of specs with every cell's workload
+// topology replaced by tp — the substance of muexp's -topo flag. Cell
+// ids (and therefore cell seeds) are unchanged, so records stay
+// comparable across topologies.
+func OverrideTopo(specs []Spec, tp topo.Spec) []Spec {
+	out := make([]Spec, len(specs))
+	copy(out, specs)
+	for i := range out {
+		out[i].Topo = tp.String()
+	}
+	return out
 }
 
 // SelectSpecs returns the cells of specs that reproduce experiment exp,
@@ -85,20 +105,34 @@ func CellSeed(root int64, id string) int64 {
 	return int64(x)
 }
 
+// runCell executes one cell with its derived seed and resolved topology
+// spec, then stamps the cell identity onto every emitted record.
+func runCell(sp Spec, rootSeed int64) *Table {
+	seed := CellSeed(rootSeed, sp.ID)
+	t := sp.Run(topo.MustParse(sp.Topo), seed)
+	for i := range t.Records {
+		t.Records[i].Cell = sp.ID
+		t.Records[i].Seed = seed
+		t.Records[i].Row = i
+	}
+	return t
+}
+
 // RunSerial executes the cells one after another in grid order — the
 // reference implementation the pool must be indistinguishable from.
 func RunSerial(specs []Spec, rootSeed int64) []*Table {
 	tables := make([]*Table, len(specs))
 	for i, sp := range specs {
-		tables[i] = sp.Run(CellSeed(rootSeed, sp.ID))
+		tables[i] = runCell(sp, rootSeed)
 	}
 	return tables
 }
 
 // RunParallel executes the cells on a pool of `workers` goroutines.
 // Results land in grid order and every cell runs with its CellSeed, so
-// the returned tables are identical to RunSerial's for any worker count;
-// only the wall-clock changes.
+// the returned tables — rendered text and structured records alike —
+// are identical to RunSerial's for any worker count; only the
+// wall-clock changes.
 func RunParallel(specs []Spec, rootSeed int64, workers int) []*Table {
 	if workers > len(specs) {
 		workers = len(specs)
@@ -114,7 +148,7 @@ func RunParallel(specs []Spec, rootSeed int64, workers int) []*Table {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				tables[i] = specs[i].Run(CellSeed(rootSeed, specs[i].ID))
+				tables[i] = runCell(specs[i], rootSeed)
 			}
 		}()
 	}

@@ -4,16 +4,19 @@ import (
 	"bytes"
 	"fmt"
 	"testing"
+
+	"mucongest/internal/topo"
 )
 
 // tinySpecs is a scaled-down grid of real experiments, small enough to
 // run repeatedly in tests while still exercising the simulator.
 func tinySpecs() []Spec {
 	return []Spec{
-		{"E1/E2-k3", []string{"E1", "E2"}, func(s int64) *Table { return E1E2(16, 3, s) }},
-		{"E4/E5", []string{"E4", "E5"}, func(s int64) *Table { return E4E5(3, 4, s) }},
-		{"E6", []string{"E6"}, func(s int64) *Table { return E6(8, s) }},
-		{"E7", []string{"E7"}, func(s int64) *Table { return E7(10, s) }},
+		{"E1/E2-k3", []string{"E1", "E2"}, "gnp:n=16,p=0.5",
+			func(tp topo.Spec, s int64) *Table { return E1E2(tp, 3, s) }},
+		{"E4/E5", []string{"E4", "E5"}, "cycliques:k=3,size=4", E4E5},
+		{"E6", []string{"E6"}, "hub:n=8,p=0.4", E6},
+		{"E7", []string{"E7"}, "gnp:n=10,p=0.15,conn=1", E7},
 	}
 }
 
@@ -25,18 +28,68 @@ func render(tables []*Table) []byte {
 	return buf.Bytes()
 }
 
+func renderCSV(t *testing.T, tables []*Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteRecordsCSV(&buf, Records(tables)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func renderJSON(t *testing.T, tables []*Table) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteRecordsJSON(&buf, Records(tables)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
 // TestParallelMatchesSerial pins the acceptance criterion of the worker
-// pool: for the same root seed, the pool's rendered output is
-// byte-identical to the serial runner's at every worker count.
+// pool: for the same root seed, the pool's output — rendered text,
+// serialized CSV and serialized JSON alike — is byte-identical to the
+// serial runner's at every worker count.
 func TestParallelMatchesSerial(t *testing.T) {
 	specs := tinySpecs()
-	want := render(RunSerial(specs, 7))
+	serial := RunSerial(specs, 7)
+	want := render(serial)
+	wantCSV := renderCSV(t, serial)
+	wantJSON := renderJSON(t, serial)
 	for _, workers := range []int{1, 2, 4, 16} {
-		got := render(RunParallel(specs, 7, workers))
-		if !bytes.Equal(got, want) {
+		par := RunParallel(specs, 7, workers)
+		if got := render(par); !bytes.Equal(got, want) {
 			t.Fatalf("workers=%d: output differs from serial runner\nserial:\n%s\nparallel:\n%s",
 				workers, want, got)
 		}
+		if got := renderCSV(t, par); !bytes.Equal(got, wantCSV) {
+			t.Fatalf("workers=%d: CSV differs from serial runner\nserial:\n%s\nparallel:\n%s",
+				workers, wantCSV, got)
+		}
+		if got := renderJSON(t, par); !bytes.Equal(got, wantJSON) {
+			t.Fatalf("workers=%d: JSON differs from serial runner\nserial:\n%s\nparallel:\n%s",
+				workers, wantJSON, got)
+		}
+	}
+}
+
+// TestOverrideTopo pins the -topo substance: every cell re-runs on the
+// substituted family and its records carry the canonical spec.
+func TestOverrideTopo(t *testing.T) {
+	orig := tinySpecs()[:1]
+	specs := OverrideTopo(orig, topo.MustParse("torus:rows=3,cols=4"))
+	tables := RunSerial(specs, 3)
+	if len(tables) != 1 || len(tables[0].Records) == 0 {
+		t.Fatalf("no records from overridden cell")
+	}
+	for _, r := range tables[0].Records {
+		if r.Topo != "torus:rows=3,cols=4" {
+			t.Fatalf("record topo %q, want canonical torus spec", r.Topo)
+		}
+	}
+	// The input specs must be untouched.
+	if orig[0].Topo != "gnp:n=16,p=0.5" {
+		t.Fatal("OverrideTopo mutated its input")
 	}
 }
 

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func fixtureRecords() []Record {
+	return []Record{
+		{
+			Exp: "E3", Cell: "E3", Row: 0, Topo: "gnp:n=96,p=0.5,conn=0", Seed: 42,
+			Params: P("mu", 96), Mu: 96, Rounds: 120, Messages: 4500,
+			PeakWords: 310, MuViolations: 2, OverMuRounds: 7,
+			WallTime: 5 * time.Millisecond,
+		},
+		{
+			Exp: "E4/E5", Cell: "E4/E5", Row: 1, Topo: "cycliques:k=4,size=8", Seed: -3,
+			Params: P("p", 2, "mode", "naive"), Mu: 0, Rounds: 64, Messages: 1024,
+			PeakWords: 99, MuViolations: 0, OverMuRounds: 0,
+			WallTime: time.Second,
+		},
+	}
+}
+
+// TestWriteRecordsCSVGolden pins the CSV schema byte-for-byte: column
+// order, params encoding (sorted k=v;k=v), and the absence of the
+// nondeterministic wall time.
+func TestWriteRecordsCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecordsCSV(&buf, fixtureRecords()); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"exp,cell,row,topo,seed,params,mu,rounds,messages,peakWords,muViolations,overMuRounds",
+		"E3,E3,0,\"gnp:n=96,p=0.5,conn=0\",42,mu=96,96,120,4500,310,2,7",
+		"E4/E5,E4/E5,1,\"cycliques:k=4,size=8\",-3,mode=naive;p=2,0,64,1024,99,0,0",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("CSV golden mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestWriteRecordsJSONGolden pins the JSON document shape: schema
+// stamp, count, sorted object keys, and no wall-time field.
+func TestWriteRecordsJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecordsJSON(&buf, fixtureRecords()[:1]); err != nil {
+		t.Fatal(err)
+	}
+	want := `{
+  "schema": "mucongest.records/v1",
+  "count": 1,
+  "records": [
+    {
+      "exp": "E3",
+      "cell": "E3",
+      "row": 0,
+      "topo": "gnp:n=96,p=0.5,conn=0",
+      "seed": "42",
+      "params": {
+        "mu": "96"
+      },
+      "mu": 96,
+      "rounds": 120,
+      "messages": 4500,
+      "peakWords": 310,
+      "muViolations": 2,
+      "overMuRounds": 7
+    }
+  ]
+}
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("JSON golden mismatch\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestWriteRecordsJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecordsJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Schema  string   `json:"schema"`
+		Count   int      `json:"count"`
+		Records []Record `json:"records"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Schema != RecordSchema || doc.Count != 0 || doc.Records == nil {
+		t.Fatalf("empty doc %+v: records must be [] not null", doc)
+	}
+}
+
+// TestRunnersEmitRecords checks every grid cell emits at least one
+// record per table row equivalent, with the cell identity stamped.
+func TestRunnersEmitRecords(t *testing.T) {
+	for _, tbl := range RunSerial(tinySpecs(), 5) {
+		if len(tbl.Records) == 0 {
+			t.Fatalf("%s emitted no records", tbl.ID)
+		}
+		if len(tbl.Records) < len(tbl.Rows) {
+			t.Fatalf("%s: %d records for %d rows", tbl.ID, len(tbl.Records), len(tbl.Rows))
+		}
+		for i, r := range tbl.Records {
+			if r.Cell == "" || r.Topo == "" || r.Exp == "" {
+				t.Fatalf("%s record %d missing identity: %+v", tbl.ID, i, r)
+			}
+			if r.Row != i {
+				t.Fatalf("%s record %d has Row=%d", tbl.ID, i, r.Row)
+			}
+			// Messages may be 0 (the E1/E2 oracle router charges rounds
+			// without engine-delivered messages), but a run always ticks
+			// and holds memory.
+			if r.Rounds <= 0 || r.PeakWords <= 0 {
+				t.Fatalf("%s record %d has empty metrics: %+v", tbl.ID, i, r)
+			}
+			if r.WallTime <= 0 {
+				t.Fatalf("%s record %d has no wall time", tbl.ID, i)
+			}
+		}
+	}
+}
+
+func TestParamsStringSorted(t *testing.T) {
+	got := paramsString(map[string]string{"z": "1", "a": "2", "m": "3"})
+	if got != "a=2;m=3;z=1" {
+		t.Fatalf("paramsString %q", got)
+	}
+	if paramsString(nil) != "" {
+		t.Fatal("nil params must render empty")
+	}
+}

@@ -1,7 +1,11 @@
 // Package bench is the experiment harness: one runner per experiment of
 // README.md’s experiment map (E1–E12), each producing a table with the paper’s
-// theory column next to the measured column. cmd/muexp prints them;
-// bench_test.go wraps them in testing.B benchmarks.
+// theory column next to the measured column plus structured Records
+// that the CSV/JSON emitters serialize for downstream tools (plots,
+// regression gates). Every runner builds its workload graph from a
+// topo.Spec, so any experiment can be re-run on any registered
+// topology family. cmd/muexp prints or serializes the results;
+// bench_test.go wraps the runners in testing.B benchmarks.
 package bench
 
 import (
@@ -10,7 +14,9 @@ import (
 	"strings"
 )
 
-// Table is one experiment's output.
+// Table is one experiment's output: the human-readable rendering
+// (Header/Rows/Notes) plus the machine-readable Records that the CSV
+// and JSON emitters serialize.
 type Table struct {
 	ID     string
 	Title  string
@@ -18,7 +24,13 @@ type Table struct {
 	Header []string
 	Rows   [][]string
 	Notes  []string
+	// Records holds one structured Record per simulated execution, in
+	// emission order. The grid runner stamps Cell, Seed and Row.
+	Records []Record
 }
+
+// AddRecord appends one structured run record.
+func (t *Table) AddRecord(r Record) { t.Records = append(t.Records, r) }
 
 // AddRow appends a formatted row.
 func (t *Table) AddRow(cells ...any) {

@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // Gnp samples an Erdős–Rényi random graph G(n,p). The paper's clique
@@ -187,17 +188,125 @@ func BarbellExpanders(s int, p float64, rng *rand.Rand) *Graph {
 	return g
 }
 
-// ColoredGnp samples G(n,p) and assigns each edge a color in [1,c]
-// according to weights (nil means uniform). It returns the graph and a
-// map from edge to color, the input for monochromatic-triangle
-// statistics (§1.2.2).
-func ColoredGnp(n int, p float64, c int, weights []float64, rng *rand.Rand) (*Graph, map[[2]int]int64) {
-	g := Gnp(n, p, rng)
+// Grid builds the rows×cols grid graph: node (r,c) has id r·cols+c and
+// is adjacent to its horizontal and vertical neighbors. A moderate-
+// diameter, bounded-degree topology for aggregation workloads.
+func Grid(rows, cols int) *Graph {
+	if rows < 1 || cols < 1 {
+		panic("graph: Grid needs rows, cols ≥ 1")
+	}
+	g := New(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			if c+1 < cols {
+				g.addEdge(v, v+1)
+			}
+			if r+1 < rows {
+				g.addEdge(v, v+cols)
+			}
+		}
+	}
+	g.sortAdj()
+	return g
+}
+
+// Torus builds the rows×cols grid with wraparound edges in both
+// dimensions: every node has degree exactly 4. Both dimensions must be
+// at least 3, else the wrap edges would duplicate grid edges or form
+// self-loops.
+func Torus(rows, cols int) *Graph {
+	if rows < 3 || cols < 3 {
+		panic("graph: Torus needs rows, cols ≥ 3")
+	}
+	g := New(rows * cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			g.addEdge(v, r*cols+(c+1)%cols)
+			g.addEdge(v, ((r+1)%rows)*cols+c)
+		}
+	}
+	g.sortAdj()
+	return g
+}
+
+// Hypercube builds the dim-dimensional hypercube on 2^dim nodes: ids
+// are adjacent iff they differ in exactly one bit. Diameter and degree
+// are both dim — the classic logarithmic-diameter interconnect.
+func Hypercube(dim int) *Graph {
+	if dim < 1 || dim > 20 {
+		panic("graph: Hypercube needs 1 ≤ dim ≤ 20")
+	}
+	n := 1 << dim
+	g := New(n)
+	for v := 0; v < n; v++ {
+		for b := 0; b < dim; b++ {
+			u := v ^ (1 << b)
+			if v < u {
+				g.addEdge(v, u)
+			}
+		}
+	}
+	g.sortAdj()
+	return g
+}
+
+// BarabasiAlbert samples a preferential-attachment (power-law degree)
+// graph: starting from a complete seed on attach+1 nodes, each new node
+// connects to attach distinct existing nodes chosen proportionally to
+// their current degree. Requires n > attach ≥ 1. The result is always
+// connected.
+func BarabasiAlbert(n, attach int, rng *rand.Rand) *Graph {
+	if attach < 1 || n <= attach {
+		panic("graph: BarabasiAlbert needs n > attach ≥ 1")
+	}
+	g := New(n)
+	// targets holds one entry per edge endpoint, so sampling an element
+	// uniformly is degree-proportional sampling.
+	targets := make([]int, 0, 2*(attach*(attach+1)/2+(n-attach-1)*attach))
+	for u := 0; u <= attach; u++ {
+		for v := u + 1; v <= attach; v++ {
+			g.addEdge(u, v)
+			targets = append(targets, u, v)
+		}
+	}
+	chosen := make(map[int]bool, attach)
+	picks := make([]int, 0, attach)
+	for v := attach + 1; v < n; v++ {
+		for k := range chosen {
+			delete(chosen, k)
+		}
+		for len(chosen) < attach {
+			chosen[targets[rng.Intn(len(targets))]] = true
+		}
+		// Materialize the pick set in sorted order: the order of the
+		// appends below shifts every later rng.Intn index, so iterating
+		// the map directly would make the sample depend on Go's map
+		// ordering instead of only on the seed.
+		picks = picks[:0]
+		for u := range chosen {
+			picks = append(picks, u)
+		}
+		sort.Ints(picks)
+		for _, u := range picks {
+			g.addEdge(v, u)
+			targets = append(targets, v, u)
+		}
+	}
+	g.sortAdj()
+	return g
+}
+
+// ColorEdges assigns each edge of g a color in [1,c] according to
+// weights (nil means uniform), returning the edge→color map that the
+// monochromatic-triangle statistics (§1.2.2) consume.
+func ColorEdges(g *Graph, c int, weights []float64, rng *rand.Rand) map[[2]int]int64 {
 	colors := make(map[[2]int]int64, g.M())
 	var cum []float64
 	if weights != nil {
 		if len(weights) != c {
-			panic("graph: ColoredGnp weights length must equal c")
+			panic("graph: ColorEdges weights length must equal c")
 		}
 		cum = make([]float64, c)
 		s := 0.0
@@ -223,5 +332,13 @@ func ColoredGnp(n int, p float64, c int, weights []float64, rng *rand.Rand) (*Gr
 		}
 		colors[[2]int{e.U, e.V}] = col
 	}
-	return g, colors
+	return colors
+}
+
+// ColoredGnp samples G(n,p) and colors its edges via ColorEdges. It
+// returns the graph and the edge→color map, the input for
+// monochromatic-triangle statistics (§1.2.2).
+func ColoredGnp(n int, p float64, c int, weights []float64, rng *rand.Rand) (*Graph, map[[2]int]int64) {
+	g := Gnp(n, p, rng)
+	return g, ColorEdges(g, c, weights, rng)
 }

@@ -180,6 +180,127 @@ func TestColoredGnp(t *testing.T) {
 	}
 }
 
+func TestGridShape(t *testing.T) {
+	rows, cols := 5, 7
+	g := Grid(rows, cols)
+	if g.N() != rows*cols {
+		t.Fatalf("n=%d", g.N())
+	}
+	if wantM := rows*(cols-1) + cols*(rows-1); g.M() != wantM {
+		t.Fatalf("m=%d want %d", g.M(), wantM)
+	}
+	if !g.Connected() {
+		t.Fatal("grid disconnected")
+	}
+	// Corner degree 2, edge degree 3, interior degree 4.
+	if g.Degree(0) != 2 || g.Degree(1) != 3 || g.Degree(cols+1) != 4 {
+		t.Fatalf("degrees %d %d %d", g.Degree(0), g.Degree(1), g.Degree(cols+1))
+	}
+	if want := (rows - 1) + (cols - 1); g.Diameter() != want {
+		t.Fatalf("diameter %d want %d", g.Diameter(), want)
+	}
+}
+
+func TestTorusShape(t *testing.T) {
+	rows, cols := 4, 6
+	g := Torus(rows, cols)
+	if g.N() != rows*cols {
+		t.Fatalf("n=%d", g.N())
+	}
+	if wantM := 2 * rows * cols; g.M() != wantM {
+		t.Fatalf("m=%d want %d", g.M(), wantM)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != 4 {
+			t.Fatalf("node %d degree %d want 4", v, g.Degree(v))
+		}
+	}
+	if !g.Connected() {
+		t.Fatal("torus disconnected")
+	}
+	if want := rows/2 + cols/2; g.Diameter() != want {
+		t.Fatalf("diameter %d want %d", g.Diameter(), want)
+	}
+}
+
+func TestHypercubeShape(t *testing.T) {
+	dim := 5
+	g := Hypercube(dim)
+	if g.N() != 1<<dim {
+		t.Fatalf("n=%d", g.N())
+	}
+	if wantM := dim * (1 << (dim - 1)); g.M() != wantM {
+		t.Fatalf("m=%d want %d", g.M(), wantM)
+	}
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) != dim {
+			t.Fatalf("node %d degree %d want %d", v, g.Degree(v), dim)
+		}
+	}
+	if !g.Connected() || g.Diameter() != dim {
+		t.Fatalf("connected=%v diameter=%d want %d", g.Connected(), g.Diameter(), dim)
+	}
+}
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n, attach := 80, 3
+	g := BarabasiAlbert(n, attach, rng)
+	if g.N() != n {
+		t.Fatalf("n=%d", g.N())
+	}
+	seedM := attach * (attach + 1) / 2
+	if wantM := seedM + (n-attach-1)*attach; g.M() != wantM {
+		t.Fatalf("m=%d want %d", g.M(), wantM)
+	}
+	if !g.Connected() {
+		t.Fatal("BA graph disconnected")
+	}
+	// Every non-seed node attaches to `attach` distinct earlier nodes.
+	minDeg := g.N()
+	for v := 0; v < g.N(); v++ {
+		if d := g.Degree(v); d < minDeg {
+			minDeg = d
+		}
+	}
+	if minDeg < attach {
+		t.Fatalf("min degree %d < attach %d", minDeg, attach)
+	}
+	// Preferential attachment should concentrate degree well above the
+	// regular-graph ceiling.
+	if g.MaxDegree() < 3*attach {
+		t.Fatalf("max degree %d suspiciously flat for preferential attachment", g.MaxDegree())
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a := BarabasiAlbert(60, 2, rand.New(rand.NewSource(9)))
+	b := BarabasiAlbert(60, 2, rand.New(rand.NewSource(9)))
+	ea, eb := a.Edges(), b.Edges()
+	if len(ea) != len(eb) {
+		t.Fatalf("edge counts differ: %d vs %d", len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, ea[i], eb[i])
+		}
+	}
+}
+
+func TestColorEdges(t *testing.T) {
+	g := Grid(4, 4)
+	rng := rand.New(rand.NewSource(7))
+	colors := ColorEdges(g, 3, nil, rng)
+	if len(colors) != g.M() {
+		t.Fatalf("colors %d edges %d", len(colors), g.M())
+	}
+	for _, c := range colors {
+		if c < 1 || c > 3 {
+			t.Fatalf("color %d out of range", c)
+		}
+	}
+}
+
 // Property: every sampled G(n,p) has sorted, symmetric, self-loop-free
 // adjacency and consistent m.
 func TestGnpInvariants(t *testing.T) {

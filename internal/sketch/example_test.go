@@ -1,0 +1,33 @@
+package sketch_test
+
+import (
+	"fmt"
+
+	"mucongest/internal/sketch"
+)
+
+// Misra–Gries with k counters estimates every frequency to within
+// n/(k+1) and is fully mergeable: two sketches combine via the word
+// encoding that the merge simulations ship over the network.
+func ExampleMG() {
+	kind := sketch.NewMGKind(3)
+	a := kind.New().(*sketch.MG)
+	for _, x := range []int64{7, 7, 7, 7, 2, 2, 5, 7} {
+		a.Insert(x)
+	}
+	b := kind.New().(*sketch.MG)
+	for _, x := range []int64{7, 7, 2, 9} {
+		b.Insert(x)
+	}
+	a.MergeFrom(b.Words())
+
+	fmt.Println("items:", a.Count())
+	fmt.Println("estimate(7):", a.Estimate(7))
+	fmt.Println("error bound:", a.ErrorBound())
+	fmt.Println("heavy(≥4):", a.Heavy(4))
+	// Output:
+	// items: 12
+	// estimate(7): 6
+	// error bound: 3
+	// heavy(≥4): [7]
+}

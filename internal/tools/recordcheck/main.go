@@ -1,0 +1,125 @@
+// Command recordcheck validates a muexp JSON record document on stdin
+// against the documented mucongest.records/v1 schema: the schema stamp,
+// a consistent count, and every documented field present with a sane
+// value on every record. CI pipes `muexp -format json` through it so
+// the emitter contract cannot drift from EXPERIMENTS.md silently.
+//
+// It decodes generically (not through bench.Record) on purpose: a field
+// renamed in the struct but not in the docs must fail here.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// fields maps every documented record field to a checker.
+var fields = map[string]func(any) error{
+	"exp":          nonEmptyString,
+	"cell":         nonEmptyString,
+	"topo":         nonEmptyString,
+	"row":          nonNegativeNumber,
+	"seed":         int64String,
+	"params":       isObject,
+	"mu":           isNumber,
+	"rounds":       nonNegativeNumber,
+	"messages":     nonNegativeNumber,
+	"peakWords":    nonNegativeNumber,
+	"muViolations": nonNegativeNumber,
+	"overMuRounds": nonNegativeNumber,
+}
+
+func nonEmptyString(v any) error {
+	s, ok := v.(string)
+	if !ok || s == "" {
+		return fmt.Errorf("want non-empty string, got %#v", v)
+	}
+	return nil
+}
+
+func isNumber(v any) error {
+	if _, ok := v.(float64); !ok {
+		return fmt.Errorf("want number, got %#v", v)
+	}
+	return nil
+}
+
+// int64String: seeds span the full int64 range, beyond float64
+// precision, so the schema carries them as decimal strings.
+func int64String(v any) error {
+	s, ok := v.(string)
+	if !ok {
+		return fmt.Errorf("want int64-in-string, got %#v", v)
+	}
+	if _, err := strconv.ParseInt(s, 10, 64); err != nil {
+		return fmt.Errorf("want int64-in-string, got %q", s)
+	}
+	return nil
+}
+
+func nonNegativeNumber(v any) error {
+	f, ok := v.(float64)
+	if !ok || f < 0 {
+		return fmt.Errorf("want number ≥ 0, got %#v", v)
+	}
+	return nil
+}
+
+func isObject(v any) error {
+	if _, ok := v.(map[string]any); !ok {
+		return fmt.Errorf("want object, got %#v", v)
+	}
+	return nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "recordcheck: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func main() {
+	var doc struct {
+		Schema  string           `json:"schema"`
+		Count   *int             `json:"count"`
+		Records []map[string]any `json:"records"`
+	}
+	dec := json.NewDecoder(os.Stdin)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		fail("invalid JSON document: %v", err)
+	}
+	if doc.Schema != "mucongest.records/v1" {
+		fail("schema %q, want mucongest.records/v1", doc.Schema)
+	}
+	if doc.Count == nil || *doc.Count != len(doc.Records) {
+		fail("count field inconsistent with %d records", len(doc.Records))
+	}
+	if len(doc.Records) == 0 {
+		fail("no records: a smoke run must produce at least one")
+	}
+	for i, r := range doc.Records {
+		if len(r) != len(fields) {
+			fail("record %d has %d fields, schema documents %d: %v", i, len(r), len(fields), keys(r))
+		}
+		for name, check := range fields {
+			v, ok := r[name]
+			if !ok {
+				fail("record %d missing field %q", i, name)
+			}
+			if err := check(v); err != nil {
+				fail("record %d field %q: %v", i, name, err)
+			}
+		}
+	}
+	fmt.Printf("recordcheck: %d records OK (%s)\n", len(doc.Records), doc.Schema)
+}
+
+func keys(m map[string]any) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,33 @@
+package topo_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mucongest/internal/topo"
+)
+
+// Parse a topology spec, inspect its canonical form, and build the
+// graph. Omitted parameters take their registered defaults, so the
+// canonical form is the full reproducible descriptor that experiment
+// records embed.
+func ExampleParse() {
+	spec, err := topo.Parse("torus:rows=4,cols=6")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("canonical:", spec)
+
+	g, err := spec.Build(rand.New(rand.NewSource(1)))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("n=%d m=%d Δ=%d diameter=%d\n", g.N(), g.M(), g.MaxDegree(), g.Diameter())
+
+	// Defaults fill in everything a spec leaves out.
+	fmt.Println("defaults: ", topo.MustParse("gnp"))
+	// Output:
+	// canonical: torus:rows=4,cols=6
+	// n=24 m=48 Δ=4 diameter=5
+	// defaults:  gnp:n=48,p=0.5,conn=0
+}

@@ -1,0 +1,234 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mucongest/internal/graph"
+)
+
+// registry lists every family in declaration order. Spec.String renders
+// parameters in the order declared here, so keep parameter order
+// meaningful (size first, then shape knobs).
+var registry = []Family{
+	{
+		Name: "gnp",
+		Doc:  "Erdős–Rényi G(n,p); conn=1 resamples until connected",
+		Params: []Param{
+			{"n", "48", "node count"},
+			{"p", "0.5", "edge probability"},
+			{"conn", "0", "resample until connected (0/1)"},
+		},
+		Build: func(v *Values, rng *rand.Rand) (*graph.Graph, error) {
+			n, p, conn := v.Int("n"), v.Float("p"), v.Bool("conn")
+			if err := v.Err(); err != nil {
+				return nil, err
+			}
+			if n < 1 {
+				return nil, fmt.Errorf("topo: gnp needs n ≥ 1")
+			}
+			if p < 0 || p > 1 {
+				return nil, fmt.Errorf("topo: gnp needs 0 ≤ p ≤ 1")
+			}
+			if conn {
+				if n > 1 && p == 0 {
+					return nil, fmt.Errorf("topo: gnp with conn=1 needs p > 0")
+				}
+				return graph.GnpConnected(n, p, rng), nil
+			}
+			return graph.Gnp(n, p, rng), nil
+		},
+	},
+	{
+		Name: "cycliques",
+		Doc:  "k cliques of size `size` joined in a cycle (Thm 1.4 instance)",
+		Params: []Param{
+			{"k", "4", "number of cliques (≥ 3)"},
+			{"size", "8", "clique size (≥ 2)"},
+		},
+		Build: func(v *Values, rng *rand.Rand) (*graph.Graph, error) {
+			k, size := v.Int("k"), v.Int("size")
+			if err := v.Err(); err != nil {
+				return nil, err
+			}
+			if k < 3 || size < 2 {
+				return nil, fmt.Errorf("topo: cycliques needs k ≥ 3, size ≥ 2")
+			}
+			return graph.CycleOfCliques(k, size), nil
+		},
+	},
+	{
+		Name: "hub",
+		Doc:  "designated max-degree hub over a G(n-1,p) blob",
+		Params: []Param{
+			{"n", "48", "node count"},
+			{"p", "0.3", "blob edge probability"},
+		},
+		Build: func(v *Values, rng *rand.Rand) (*graph.Graph, error) {
+			n, p := v.Int("n"), v.Float("p")
+			if err := v.Err(); err != nil {
+				return nil, err
+			}
+			if n < 2 {
+				return nil, fmt.Errorf("topo: hub needs n ≥ 2")
+			}
+			if p < 0 || p > 1 {
+				return nil, fmt.Errorf("topo: hub needs 0 ≤ p ≤ 1")
+			}
+			return graph.HubAndBlob(n, p, rng), nil
+		},
+	},
+	{
+		Name: "regular",
+		Doc:  "random d-regular graph (pairing model with switch repair)",
+		Params: []Param{
+			{"n", "48", "node count"},
+			{"d", "8", "degree (n·d even, d < n)"},
+		},
+		Build: func(v *Values, rng *rand.Rand) (*graph.Graph, error) {
+			n, d := v.Int("n"), v.Int("d")
+			if err := v.Err(); err != nil {
+				return nil, err
+			}
+			if d < 1 || d >= n || n*d%2 != 0 {
+				return nil, fmt.Errorf("topo: regular needs 1 ≤ d < n with n·d even")
+			}
+			return graph.RandomRegular(n, d, rng), nil
+		},
+	},
+	{
+		Name:   "star",
+		Doc:    "star with center 0 (extreme max degree)",
+		Params: []Param{{"n", "48", "node count"}},
+		Build: func(v *Values, rng *rand.Rand) (*graph.Graph, error) {
+			n := v.Int("n")
+			if err := v.Err(); err != nil {
+				return nil, err
+			}
+			if n < 2 {
+				return nil, fmt.Errorf("topo: star needs n ≥ 2")
+			}
+			return graph.Star(n), nil
+		},
+	},
+	{
+		Name: "barbell",
+		Doc:  "two G(size,p) blobs joined by one bridge edge (low conductance)",
+		Params: []Param{
+			{"size", "24", "nodes per blob"},
+			{"p", "0.5", "blob edge probability"},
+		},
+		Build: func(v *Values, rng *rand.Rand) (*graph.Graph, error) {
+			size, p := v.Int("size"), v.Float("p")
+			if err := v.Err(); err != nil {
+				return nil, err
+			}
+			if size < 1 {
+				return nil, fmt.Errorf("topo: barbell needs size ≥ 1")
+			}
+			if p < 0 || p > 1 {
+				return nil, fmt.Errorf("topo: barbell needs 0 ≤ p ≤ 1")
+			}
+			return graph.BarbellExpanders(size, p, rng), nil
+		},
+	},
+	{
+		Name:   "path",
+		Doc:    "path 0-1-...-(n-1) (extreme diameter)",
+		Params: []Param{{"n", "48", "node count"}},
+		Build: func(v *Values, rng *rand.Rand) (*graph.Graph, error) {
+			n := v.Int("n")
+			if err := v.Err(); err != nil {
+				return nil, err
+			}
+			if n < 1 {
+				return nil, fmt.Errorf("topo: path needs n ≥ 1")
+			}
+			return graph.Path(n), nil
+		},
+	},
+	{
+		Name:   "cycle",
+		Doc:    "n-node cycle",
+		Params: []Param{{"n", "48", "node count (≥ 3)"}},
+		Build: func(v *Values, rng *rand.Rand) (*graph.Graph, error) {
+			n := v.Int("n")
+			if err := v.Err(); err != nil {
+				return nil, err
+			}
+			if n < 3 {
+				return nil, fmt.Errorf("topo: cycle needs n ≥ 3")
+			}
+			return graph.Cycle(n), nil
+		},
+	},
+	{
+		Name: "grid",
+		Doc:  "rows×cols grid",
+		Params: []Param{
+			{"rows", "8", "grid rows"},
+			{"cols", "8", "grid columns"},
+		},
+		Build: func(v *Values, rng *rand.Rand) (*graph.Graph, error) {
+			rows, cols := v.Int("rows"), v.Int("cols")
+			if err := v.Err(); err != nil {
+				return nil, err
+			}
+			if rows < 1 || cols < 1 {
+				return nil, fmt.Errorf("topo: grid needs rows, cols ≥ 1")
+			}
+			return graph.Grid(rows, cols), nil
+		},
+	},
+	{
+		Name: "torus",
+		Doc:  "rows×cols grid with wraparound (4-regular)",
+		Params: []Param{
+			{"rows", "8", "torus rows (≥ 3)"},
+			{"cols", "8", "torus columns (≥ 3)"},
+		},
+		Build: func(v *Values, rng *rand.Rand) (*graph.Graph, error) {
+			rows, cols := v.Int("rows"), v.Int("cols")
+			if err := v.Err(); err != nil {
+				return nil, err
+			}
+			if rows < 3 || cols < 3 {
+				return nil, fmt.Errorf("topo: torus needs rows, cols ≥ 3")
+			}
+			return graph.Torus(rows, cols), nil
+		},
+	},
+	{
+		Name:   "hypercube",
+		Doc:    "dim-dimensional hypercube on 2^dim nodes",
+		Params: []Param{{"dim", "6", "dimension (1..20)"}},
+		Build: func(v *Values, rng *rand.Rand) (*graph.Graph, error) {
+			dim := v.Int("dim")
+			if err := v.Err(); err != nil {
+				return nil, err
+			}
+			if dim < 1 || dim > 20 {
+				return nil, fmt.Errorf("topo: hypercube needs 1 ≤ dim ≤ 20")
+			}
+			return graph.Hypercube(dim), nil
+		},
+	},
+	{
+		Name: "powerlaw",
+		Doc:  "Barabási–Albert preferential attachment (power-law degrees)",
+		Params: []Param{
+			{"n", "48", "node count"},
+			{"attach", "3", "edges per new node (1 ≤ attach < n)"},
+		},
+		Build: func(v *Values, rng *rand.Rand) (*graph.Graph, error) {
+			n, attach := v.Int("n"), v.Int("attach")
+			if err := v.Err(); err != nil {
+				return nil, err
+			}
+			if attach < 1 || n <= attach {
+				return nil, fmt.Errorf("topo: powerlaw needs n > attach ≥ 1")
+			}
+			return graph.BarabasiAlbert(n, attach, rng), nil
+		},
+	},
+}

@@ -1,0 +1,262 @@
+// Package topo is the topology registry: every workload-graph family
+// the repository knows (G(n,p), cycle-of-cliques, hub, random regular,
+// star, barbell, path, cycle, grid, torus, hypercube, power-law) under
+// one string name, parameterized and built from a single textual spec
+// syntax:
+//
+//	family:key=value,key=value,...
+//
+// e.g. "gnp:n=64,p=0.5", "torus:rows=8,cols=8", or a bare "hypercube"
+// (every omitted parameter takes its registered default). Parse
+// validates a spec against the registry, Spec.Build generates the graph
+// deterministically from an *rand.Rand, and Spec.String renders the
+// canonical fully-explicit form that experiment records embed, so a
+// recorded run names its topology reproducibly.
+//
+// cmd/mugraph, the bench experiment grid (including the muexp -topo
+// override), and the examples all construct their graphs through this
+// registry.
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"mucongest/internal/graph"
+)
+
+// Param declares one parameter of a family: its name, default value
+// (string form) and one-line doc.
+type Param struct {
+	Name    string
+	Default string
+	Doc     string
+}
+
+// Family is one registered graph family. Build receives the resolved
+// parameter values (defaults merged with the spec's explicit arguments)
+// and the RNG; generation must be deterministic in (values, rng).
+type Family struct {
+	Name   string
+	Doc    string
+	Params []Param
+	Build  func(v *Values, rng *rand.Rand) (*graph.Graph, error)
+}
+
+func (f *Family) param(name string) *Param {
+	for i := range f.Params {
+		if f.Params[i].Name == name {
+			return &f.Params[i]
+		}
+	}
+	return nil
+}
+
+// Values holds the resolved string parameter values of a spec. The
+// typed accessors record the first conversion failure, checked once by
+// Build — family builders can read all parameters without per-field
+// error plumbing.
+type Values struct {
+	family string
+	m      map[string]string
+	err    error
+}
+
+func (v *Values) fail(name, kind string) {
+	if v.err == nil {
+		v.err = fmt.Errorf("topo: %s: parameter %s=%q is not %s",
+			v.family, name, v.m[name], kind)
+	}
+}
+
+// Int returns the named parameter as an int (0 after a recorded error).
+func (v *Values) Int(name string) int {
+	i, err := strconv.Atoi(v.m[name])
+	if err != nil {
+		v.fail(name, "an integer")
+		return 0
+	}
+	return i
+}
+
+// Float returns the named parameter as a float64.
+func (v *Values) Float(name string) float64 {
+	f, err := strconv.ParseFloat(v.m[name], 64)
+	if err != nil {
+		v.fail(name, "a number")
+		return 0
+	}
+	return f
+}
+
+// Bool returns the named parameter as a bool ("1"/"true"/"0"/"false").
+func (v *Values) Bool(name string) bool {
+	b, err := strconv.ParseBool(v.m[name])
+	if err != nil {
+		v.fail(name, "a boolean")
+		return false
+	}
+	return b
+}
+
+// Err returns the first conversion failure, if any.
+func (v *Values) Err() error { return v.err }
+
+// Spec is a parsed topology spec: a family name plus the explicitly
+// given arguments. The zero Spec is invalid.
+type Spec struct {
+	Family string
+	Args   map[string]string
+}
+
+// Parse parses and validates "family" or "family:k=v,k=v,...". The
+// family must be registered and every argument key declared by it;
+// argument values are validated at Build time (they may need the RNG to
+// matter). An empty spec or malformed pair is an error.
+func Parse(s string) (Spec, error) {
+	name, rest, hasArgs := strings.Cut(s, ":")
+	name = strings.TrimSpace(name)
+	f := lookup(name)
+	if f == nil {
+		return Spec{}, fmt.Errorf("topo: unknown family %q (valid: %s)",
+			name, strings.Join(FamilyNames(), ", "))
+	}
+	sp := Spec{Family: f.Name, Args: map[string]string{}}
+	if !hasArgs {
+		return sp, nil
+	}
+	for _, pair := range strings.Split(rest, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		if !ok || k == "" || v == "" {
+			return Spec{}, fmt.Errorf("topo: %s: malformed argument %q (want key=value)",
+				f.Name, pair)
+		}
+		if f.param(k) == nil {
+			valid := make([]string, len(f.Params))
+			for i, p := range f.Params {
+				valid[i] = p.Name
+			}
+			return Spec{}, fmt.Errorf("topo: %s has no parameter %q (valid: %s)",
+				f.Name, k, strings.Join(valid, ", "))
+		}
+		if _, dup := sp.Args[k]; dup {
+			return Spec{}, fmt.Errorf("topo: %s: duplicate argument %q", f.Name, k)
+		}
+		sp.Args[k] = v
+	}
+	return sp, nil
+}
+
+// MustParse is Parse for registry-known-good specs; it panics on error.
+func MustParse(s string) Spec {
+	sp, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return sp
+}
+
+// String renders the canonical fully-explicit spec: every parameter of
+// the family in declaration order with its effective (explicit or
+// default) value. The canonical form re-parses to an equal spec, and
+// equal canonical forms build identical graphs for equal seeds. The
+// converse does not hold: values keep their original spelling
+// ("p=.5" and "p=0.5" stay distinct strings), so don't group runs by
+// comparing canonical forms of hand-written specs.
+func (s Spec) String() string {
+	f := lookup(s.Family)
+	if f == nil {
+		return s.Family
+	}
+	parts := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		parts[i] = p.Name + "=" + s.arg(f, p.Name)
+	}
+	if len(parts) == 0 {
+		return f.Name
+	}
+	return f.Name + ":" + strings.Join(parts, ",")
+}
+
+func (s Spec) arg(f *Family, name string) string {
+	if v, ok := s.Args[name]; ok {
+		return v
+	}
+	return f.param(name).Default
+}
+
+// Values resolves the spec's effective parameter values.
+func (s Spec) Values() (*Values, error) {
+	f := lookup(s.Family)
+	if f == nil {
+		return nil, fmt.Errorf("topo: unknown family %q", s.Family)
+	}
+	m := make(map[string]string, len(f.Params))
+	for _, p := range f.Params {
+		m[p.Name] = s.arg(f, p.Name)
+	}
+	return &Values{family: f.Name, m: m}, nil
+}
+
+// Build generates the graph described by the spec, drawing any
+// randomness from rng. Deterministic: equal canonical specs and equal
+// rng states yield identical graphs.
+func (s Spec) Build(rng *rand.Rand) (*graph.Graph, error) {
+	f := lookup(s.Family)
+	if f == nil {
+		return nil, fmt.Errorf("topo: unknown family %q", s.Family)
+	}
+	v, err := s.Values()
+	if err != nil {
+		return nil, err
+	}
+	g, err := f.Build(v, rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// With returns a copy of the spec with one argument overridden.
+func (s Spec) With(key, value string) Spec {
+	args := make(map[string]string, len(s.Args)+1)
+	for k, v := range s.Args {
+		args[k] = v
+	}
+	args[key] = value
+	return Spec{Family: s.Family, Args: args}
+}
+
+func lookup(name string) *Family {
+	for i := range registry {
+		if registry[i].Name == name {
+			return &registry[i]
+		}
+	}
+	return nil
+}
+
+// Families returns the registered families sorted by name.
+func Families() []Family {
+	out := make([]Family, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// FamilyNames returns the sorted registered family names.
+func FamilyNames() []string {
+	fs := Families()
+	names := make([]string, len(fs))
+	for i, f := range fs {
+		names[i] = f.Name
+	}
+	return names
+}

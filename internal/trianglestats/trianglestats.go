@@ -30,7 +30,8 @@ type Config struct {
 }
 
 // Result reports the heavy monochromatic colors with exact triangle
-// counts, plus the round totals of each stage.
+// counts, plus the round totals of each stage and the aggregate
+// message/memory footprint across the stages.
 type Result struct {
 	TotalTriangles int
 	MonoTriangles  int64
@@ -39,6 +40,10 @@ type Result struct {
 	ListingRounds  int
 	SketchRounds   int
 	RefineRounds   int
+	// Messages is the total delivered across all stages; PeakWords is
+	// the largest per-node memory peak any stage reached.
+	Messages  int64
+	PeakWords int64
 }
 
 // monochrome returns the color if all three edges share it, else 0.
@@ -86,6 +91,11 @@ func Run(cfg Config) (*Result, error) {
 	mg := sum.(*sketch.MG)
 	thresh := int64(2.0 / 3.0 * cfg.Eps * float64(mono))
 	candidates := mg.Heavy(thresh)
+	messages := listRes.Messages + sketchRes.Messages
+	peak := listRes.MaxPeakWords()
+	if p := sketchRes.MaxPeakWords(); p > peak {
+		peak = p
+	}
 	// Stage 3: exact counts of the candidates over a BFS tree.
 	var exact map[int64]int64
 	var refineRounds int
@@ -95,6 +105,10 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 		refineRounds = refineRes.Rounds
+		messages += refineRes.Messages
+		if p := refineRes.MaxPeakWords(); p > peak {
+			peak = p
+		}
 		exact = make(map[int64]int64, len(candidates))
 		for i, col := range candidates {
 			exact[col] = counts[i]
@@ -117,5 +131,7 @@ func Run(cfg Config) (*Result, error) {
 		ListingRounds:  listRes.Rounds,
 		SketchRounds:   sketchRes.Rounds,
 		RefineRounds:   refineRounds,
+		Messages:       messages,
+		PeakWords:      peak,
 	}, nil
 }
