@@ -2,6 +2,7 @@ package mucongest
 
 import (
 	"io"
+	"math/rand"
 	"testing"
 
 	"mucongest/internal/bench"
@@ -101,6 +102,70 @@ func BenchmarkEngineRoundRandomOrder64(b *testing.B) {
 
 func BenchmarkEngineRoundReversed64(b *testing.B) {
 	benchEngineRounds(b, sim.NewComplete(64), 32, sim.WithInboxOrder(sim.OrderReversed))
+}
+
+// Large-scale cells: the engine round loop at 65536 nodes, the scale the
+// sharded delivery path is built for. The Workers1/Workers4/WorkersMax
+// triple measures the parallel-delivery speedup directly (identical
+// results, different wall-clock); torus and powerlaw cover structured
+// and heavy-tailed degree distributions at the same scale. Setup
+// (graph generation) happens once per benchmark, outside the timer.
+
+var benchLargeTopo = struct {
+	cycle, torus, powerlaw sim.Topology
+}{}
+
+func largeCycle() sim.Topology {
+	if benchLargeTopo.cycle == nil {
+		benchLargeTopo.cycle = graph.Cycle(65536)
+	}
+	return benchLargeTopo.cycle
+}
+
+func benchEngineLarge(b *testing.B, topo sim.Topology, workers int) {
+	b.Helper()
+	b.ResetTimer()
+	benchEngineRounds(b, topo, 4, sim.WithSimWorkers(workers))
+}
+
+func BenchmarkEngineRoundCycle65536Workers1(b *testing.B) {
+	benchEngineLarge(b, largeCycle(), 1)
+}
+
+func BenchmarkEngineRoundCycle65536Workers4(b *testing.B) {
+	benchEngineLarge(b, largeCycle(), 4)
+}
+
+func BenchmarkEngineRoundCycle65536WorkersMax(b *testing.B) {
+	benchEngineLarge(b, largeCycle(), 0) // 0 = GOMAXPROCS
+}
+
+func BenchmarkEngineRoundTorus65536(b *testing.B) {
+	if benchLargeTopo.torus == nil {
+		benchLargeTopo.torus = graph.Torus(256, 256)
+	}
+	benchEngineLarge(b, benchLargeTopo.torus, 0)
+}
+
+func BenchmarkEngineRoundPowerlaw65536(b *testing.B) {
+	if benchLargeTopo.powerlaw == nil {
+		benchLargeTopo.powerlaw = graph.BarabasiAlbert(65536, 3, rand.New(rand.NewSource(1)))
+	}
+	benchEngineLarge(b, benchLargeTopo.powerlaw, 0)
+}
+
+// BenchmarkEngineRoundComplete65536Setup pins the implicit Complete
+// topology: engine construction plus one-node port arithmetic at a
+// scale where the old explicit adjacency (O(n²) ints) was unbuildable.
+func BenchmarkEngineRoundComplete65536Setup(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c := sim.NewComplete(65536)
+		e := sim.New(c, sim.WithSeed(1))
+		if e.N() != 65536 || c.PortOf(0, 65535) != 65534 {
+			b.Fatal("bad complete topology")
+		}
+	}
 }
 
 func BenchmarkE11_RoutingTradeoff(b *testing.B) {

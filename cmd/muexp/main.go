@@ -4,12 +4,18 @@
 //
 // Usage:
 //
-//	muexp [-seed N] [-exp E3] [-parallel N] [-format table|csv|json] [-out FILE] [-topo SPEC]
+//	muexp [-seed N] [-exp E3] [-parallel N] [-simworkers N] [-format table|csv|json] [-out FILE] [-topo SPEC]
 //
 // By default every experiment runs, spread over a worker pool of
 // GOMAXPROCS goroutines. Each table cell derives its own seed from
 // -seed, so the output — rendered tables and serialized records alike —
 // is byte-identical for every -parallel value.
+//
+// -parallel controls how many experiment cells run concurrently;
+// -simworkers controls how many delivery workers each simulation engine
+// shards its round loop across (sim.WithSimWorkers). Engine results are
+// bit-for-bit identical for every -simworkers value; both flags must be
+// ≥ 1.
 //
 // -format selects the emitter: "table" renders the human-readable
 // tables; "csv" and "json" serialize the structured bench.Records
@@ -29,6 +35,7 @@ import (
 	"strings"
 
 	"mucongest/internal/bench"
+	"mucongest/internal/sim"
 	"mucongest/internal/topo"
 )
 
@@ -41,7 +48,9 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed for workloads and protocols")
 	exp := flag.String("exp", "all", "experiment id ("+valid+") or 'all'")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0),
-		"number of experiment cells to run concurrently")
+		"number of experiment cells to run concurrently (≥ 1)")
+	simWorkers := flag.Int("simworkers", runtime.GOMAXPROCS(0),
+		"delivery workers per simulation engine round loop (≥ 1; results are identical for any value)")
 	format := flag.String("format", "table", "output format: table | csv | json")
 	out := flag.String("out", "", "write output to this file instead of stdout")
 	topoSpec := flag.String("topo", "",
@@ -53,6 +62,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown format %q; valid: table, csv, json\n", *format)
 		os.Exit(2)
 	}
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "-parallel must be ≥ 1 (got %d)\n", *parallel)
+		os.Exit(2)
+	}
+	if *simWorkers < 1 {
+		fmt.Fprintf(os.Stderr, "-simworkers must be ≥ 1 (got %d)\n", *simWorkers)
+		os.Exit(2)
+	}
+	sim.SetDefaultWorkers(*simWorkers)
 	selected, ok := bench.SelectSpecs(specs, *exp)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s, all\n", *exp, valid)

@@ -56,7 +56,8 @@ func TestParallelMatchesSerial(t *testing.T) {
 	want := render(serial)
 	wantCSV := renderCSV(t, serial)
 	wantJSON := renderJSON(t, serial)
-	for _, workers := range []int{1, 2, 4, 16} {
+	for _, workers := range []int{-3, 0, 1, 2, 4, 16} {
+		// workers < 1 must clamp to a serial pool, not hang or panic.
 		par := RunParallel(specs, 7, workers)
 		if got := render(par); !bytes.Equal(got, want) {
 			t.Fatalf("workers=%d: output differs from serial runner\nserial:\n%s\nparallel:\n%s",

@@ -57,8 +57,13 @@ func (t *Table) Fprint(w io.Writer) {
 		widths[i] = len(h)
 	}
 	for _, r := range t.Rows {
+		// Rows may carry more cells than the header; grow widths so the
+		// extra columns render instead of panicking in line().
+		for len(widths) < len(r) {
+			widths = append(widths, 0)
+		}
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
+			if len(c) > widths[i] {
 				widths[i] = len(c)
 			}
 		}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFprintAlignsColumns(t *testing.T) {
+	tb := &Table{
+		ID:     "T",
+		Title:  "title",
+		Claim:  "claim",
+		Header: []string{"a", "long-header"},
+	}
+	tb.AddRow("wide-cell", 1)
+	tb.AddRow("x", 2.5)
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "wide-cell  1") {
+		t.Fatalf("misaligned render:\n%s", out)
+	}
+	if !strings.Contains(out, "2.50") {
+		t.Fatalf("float cell not formatted:\n%s", out)
+	}
+}
+
+func TestFprintRowWiderThanHeader(t *testing.T) {
+	// Regression: a row with more cells than the header used to index
+	// widths out of range and panic. The extra cells must render.
+	tb := &Table{
+		ID:     "T",
+		Title:  "ragged",
+		Claim:  "claim",
+		Header: []string{"only-col"},
+	}
+	tb.AddRow("a", "extra-1", "extra-2")
+	tb.AddRow("b")
+	var buf bytes.Buffer
+	tb.Fprint(&buf) // must not panic
+	out := buf.String()
+	for _, want := range []string{"only-col", "extra-1", "extra-2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in render:\n%s", want, out)
+		}
+	}
+}
+
+func TestFprintEmptyRows(t *testing.T) {
+	tb := &Table{ID: "T", Title: "empty", Claim: "c", Header: []string{"h"}}
+	var buf bytes.Buffer
+	tb.Fprint(&buf)
+	if !strings.Contains(buf.String(), "h") {
+		t.Fatal("header missing")
+	}
+}

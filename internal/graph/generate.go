@@ -156,6 +156,21 @@ func Path(n int) *Graph {
 	return g
 }
 
+// Complete builds the complete graph K_n with explicit adjacency:
+// O(n²) memory, intended for workload-graph scales. Engine-scale
+// all-to-all topologies should use the implicit sim.NewComplete, which
+// is O(1).
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.addEdge(u, v)
+		}
+	}
+	g.sortAdj()
+	return g
+}
+
 // Cycle builds the n-node cycle.
 func Cycle(n int) *Graph {
 	if n < 3 {

@@ -180,6 +180,30 @@ func TestColoredGnp(t *testing.T) {
 	}
 }
 
+func TestCompleteShape(t *testing.T) {
+	for _, n := range []int{1, 2, 7} {
+		g := Complete(n)
+		if g.N() != n || g.M() != n*(n-1)/2 {
+			t.Fatalf("Complete(%d): n=%d m=%d", n, g.N(), g.M())
+		}
+		for v := 0; v < n; v++ {
+			nb := g.Neighbors(v)
+			if len(nb) != n-1 {
+				t.Fatalf("Complete(%d): deg(%d)=%d", n, v, len(nb))
+			}
+			for p, u := range nb {
+				want := p
+				if p >= v {
+					want = p + 1
+				}
+				if u != want {
+					t.Fatalf("Complete(%d): Neighbors(%d)[%d]=%d, want %d (ascending, skipping self)", n, v, p, u, want)
+				}
+			}
+		}
+	}
+}
+
 func TestGridShape(t *testing.T) {
 	rows, cols := 5, 7
 	g := Grid(rows, cols)

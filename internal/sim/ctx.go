@@ -8,12 +8,19 @@ import (
 // Ctx is a node's handle to the simulation: its identity, topology view,
 // messaging, memory meter, output channel and RNG. A Ctx is owned by the
 // node goroutine and must not be shared.
+//
+// Topology state is materialized lazily so that engine setup stays O(1)
+// per node even on implicit topologies like Complete: the neighbor slice
+// is fetched on first Neighbors (or first port use without a topology
+// fast path), the id→port map on first PortOf without one, and the
+// private RNG on first Rand.
 type Ctx struct {
 	eng *Engine
 	id  int
-	nbr []int       // neighbor ids (topology knowledge, free per the model)
-	prt map[int]int // neighbor id -> port
-	rng *rand.Rand
+	deg int
+	nbr []int       // lazily materialized neighbor list (nil until needed)
+	prt map[int]int // lazy id -> port fallback (topologies without PortOf)
+	rng *rand.Rand  // lazily created on first Rand
 
 	outbox []routed
 	spare  []routed    // retired outbox buffer, recycled by takeOutbox
@@ -21,19 +28,23 @@ type Ctx struct {
 }
 
 func newCtx(e *Engine, id int) *Ctx {
-	nbr := e.topo.Neighbors(id)
-	prt := make(map[int]int, len(nbr))
-	for p, u := range nbr {
-		prt[u] = p
+	c := &Ctx{eng: e, id: id, sent: make(map[int]int)}
+	if e.topoDeg != nil {
+		c.deg = e.topoDeg.Degree(id)
+	} else {
+		c.nbr = e.topo.Neighbors(id)
+		c.deg = len(c.nbr)
 	}
-	return &Ctx{
-		eng:  e,
-		id:   id,
-		nbr:  nbr,
-		prt:  prt,
-		rng:  rand.New(rand.NewSource(e.seed*1_000_003 + int64(id))),
-		sent: make(map[int]int),
+	return c
+}
+
+// neighbors returns the materialized neighbor list, fetching it from the
+// topology on first use.
+func (c *Ctx) neighbors() []int {
+	if c.nbr == nil {
+		c.nbr = c.eng.topo.Neighbors(c.id)
 	}
+	return c.nbr
 }
 
 // ID returns this node's id in 0..N-1.
@@ -46,25 +57,46 @@ func (c *Ctx) N() int { return c.eng.n }
 func (c *Ctx) Mu() int64 { return c.eng.mu }
 
 // Degree returns the number of neighbors.
-func (c *Ctx) Degree() int { return len(c.nbr) }
+func (c *Ctx) Degree() int { return c.deg }
 
 // Neighbors returns this node's neighbor ids. The slice must not be
 // modified.
-func (c *Ctx) Neighbors() []int { return c.nbr }
+func (c *Ctx) Neighbors() []int { return c.neighbors() }
 
 // Neighbor returns the id of the neighbor on the given port.
-func (c *Ctx) Neighbor(port int) int { return c.nbr[port] }
+func (c *Ctx) Neighbor(port int) int {
+	if c.nbr == nil && c.eng.topoAt != nil {
+		return c.eng.topoAt.NeighborAt(c.id, port)
+	}
+	return c.neighbors()[port]
+}
 
 // PortOf returns the port of neighbor id, or -1 if id is not adjacent.
 func (c *Ctx) PortOf(id int) int {
+	if c.eng.topoPort != nil {
+		return c.eng.topoPort.PortOf(c.id, id)
+	}
+	if c.prt == nil {
+		nbr := c.neighbors()
+		c.prt = make(map[int]int, len(nbr))
+		for p, u := range nbr {
+			c.prt[u] = p
+		}
+	}
 	if p, ok := c.prt[id]; ok {
 		return p
 	}
 	return -1
 }
 
-// Rand returns this node's deterministic private RNG.
-func (c *Ctx) Rand() *rand.Rand { return c.rng }
+// Rand returns this node's deterministic private RNG. The stream depends
+// only on the engine seed and the node id.
+func (c *Ctx) Rand() *rand.Rand {
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(c.eng.seed*1_000_003 + int64(c.id)))
+	}
+	return c.rng
+}
 
 // Round returns the number of Tick calls this node has performed.
 func (c *Ctx) Round() int { return c.eng.nodes[c.id].ticks }
@@ -78,7 +110,7 @@ func (c *Ctx) Send(port int, m Msg) {
 			c.id, c.eng.edgeCap, port))
 	}
 	c.sent[port]++
-	c.outbox = append(c.outbox, routed{from: c.id, to: c.nbr[port], msg: m})
+	c.outbox = append(c.outbox, routed{from: c.id, to: c.Neighbor(port), msg: m})
 }
 
 // SendID queues one message to the adjacent node with the given id.
@@ -92,7 +124,7 @@ func (c *Ctx) SendID(id int, m Msg) {
 
 // Broadcast queues one copy of m to every neighbor.
 func (c *Ctx) Broadcast(m Msg) {
-	for p := range c.nbr {
+	for p := 0; p < c.deg; p++ {
 		c.Send(p, m)
 	}
 }
@@ -135,14 +167,22 @@ func (c *Ctx) Emit(v any) {
 
 // Charge records that the algorithm now holds `words` additional words
 // of memory. Peak usage and μ violations are tracked by the engine.
+//
+// The words delivered to the node at the last barrier stay charged
+// alongside the algorithm's live words — the engine cannot observe the
+// node dropping the inbox slice before its next Tick — so both the peak
+// update and the strict-mode abort check match the engine's barrier
+// accounting: a node that charges over μ while still holding its inbox
+// aborts (strict) and has the overrun reflected in PeakWords.
 func (c *Ctx) Charge(words int64) {
 	rt := c.eng.nodes[c.id]
 	rt.live += words
-	if rt.live > rt.peak {
-		rt.peak = rt.live
+	if total := rt.live + rt.inboxWords; total > rt.peak {
+		rt.peak = total
 	}
-	if c.eng.mu > 0 && rt.live > c.eng.mu && c.eng.strict {
-		panic(fmt.Sprintf("sim: node %d exceeded μ=%d with %d live words", c.id, c.eng.mu, rt.live))
+	if c.eng.strict && c.eng.mu > 0 && rt.live+rt.inboxWords > c.eng.mu {
+		panic(fmt.Errorf("%w: node %d holds %d live + %d inbox words > μ=%d",
+			ErrMemory, c.id, rt.live, rt.inboxWords, c.eng.mu))
 	}
 }
 

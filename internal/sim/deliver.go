@@ -1,0 +1,220 @@
+package sim
+
+import "math/rand"
+
+// Sharded delivery: the engine's per-round work — routing staged
+// outboxes into inboxes, applying the inbox order, memory accounting and
+// the resume fan-out — is partitioned into shards of shardSpan
+// consecutive node ids. Per-destination routing and inbox ordering are
+// independent across destinations, so shards never contend; a persistent
+// worker pool (see Engine.startPool) executes the shards of each phase
+// in parallel.
+//
+// Determinism for every worker count rests on two invariants:
+//
+//  1. The shard layout is a pure function of n (fixed shardSpan), never
+//     of the worker count. Workers pull whole shards, so any schedule
+//     computes the same per-shard results.
+//  2. OrderRandom draws from a per-shard RNG stream derived only from
+//     the engine seed and the shard index, consumed in ascending node
+//     id within the shard. Shard 0's stream is seeded exactly like the
+//     pre-sharding engine RNG, so single-shard runs (n ≤ shardSpan,
+//     i.e. every run the old golden digests were recorded on) reproduce
+//     the historical draw sequence bit for bit.
+//
+// Routing preserves the documented inbox order (ascending sender id,
+// send order within a sender) with O(m) total work via a two-phase
+// exchange: the route phase walks each shard's own sender range in
+// ascending id and buckets messages by destination shard; the account
+// phase drains the buckets addressed to its shard in ascending
+// sender-shard order, which concatenates back to the global ascending
+// sender order per destination.
+
+// shardSpan is the number of consecutive node ids per delivery shard.
+// It must stay fixed: shard boundaries feed the per-shard RNG streams,
+// so changing it re-keys every OrderRandom run with n > shardSpan.
+const shardSpan = 512
+
+// phaseKind selects the work a delivery phase performs on each shard.
+type phaseKind uint8
+
+const (
+	// phaseRoute buckets the shard's staged sender outboxes by
+	// destination shard, counting drops to finished nodes.
+	phaseRoute phaseKind = iota
+	// phaseAccount drains the buckets addressed to the shard into its
+	// destination inboxes, applies the inbox order and charges memory.
+	phaseAccount
+	// phaseAccountResume is phaseAccount fused with the resume fan-out:
+	// each node is resumed as soon as its own inbox is ready (non-strict
+	// runs only — strict aborts need all shards accounted first).
+	phaseAccountResume
+	// phaseResume hands every live node its inbox (strict runs, after
+	// the abort decision).
+	phaseResume
+)
+
+// shardState is one shard's scratch, reused across rounds so the hot
+// loop is allocation-free in steady state. It is written only by the
+// worker currently holding the shard (phase barriers order the
+// cross-shard xfer reads).
+type shardState struct {
+	rng *rand.Rand
+	// xfer[t] holds the messages this shard's senders staged for
+	// destination shard t this round: ascending sender id, send order
+	// within a sender. Filled in phaseRoute, drained (and truncated) by
+	// shard t's account phase.
+	xfer     [][]routed
+	messages int64 // delivered to this shard's destinations, whole run
+	dropped  int64 // dropped by this shard's senders, whole run
+	over     []overrun
+}
+
+// overrun is one node's μ overrun at the current barrier, staged
+// per-shard and merged into the run's Violation list by mergeRound.
+type overrun struct {
+	node  int
+	words int64
+}
+
+// shardSeed derives shard s's RNG seed. Shard 0 keeps the raw engine
+// seed — the pre-sharding engine drew OrderRandom permutations from
+// rand.NewSource(seed), and single-shard runs must keep reproducing the
+// golden digests recorded then. Higher shards get splitmix64-finalized
+// streams.
+func shardSeed(seed int64, s int) int64 {
+	if s == 0 {
+		return seed
+	}
+	x := uint64(seed) ^ (uint64(s) * 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}
+
+func (e *Engine) initShards() {
+	e.nshards = (e.n + shardSpan - 1) / shardSpan
+	if e.nshards < 1 {
+		e.nshards = 1
+	}
+	e.shards = make([]*shardState, e.nshards)
+	for s := range e.shards {
+		e.shards[s] = &shardState{
+			rng:  rand.New(rand.NewSource(shardSeed(e.seed, s))),
+			xfer: make([][]routed, e.nshards),
+		}
+	}
+}
+
+// shardPhase runs one phase on one shard.
+func (e *Engine) shardPhase(k phaseKind, s int) {
+	lo := s * shardSpan
+	hi := lo + shardSpan
+	if hi > e.n {
+		hi = e.n
+	}
+	switch k {
+	case phaseRoute:
+		e.routeShard(e.shards[s], lo, hi)
+	case phaseAccount:
+		e.accountShard(e.shards[s], s, lo, hi, false)
+	case phaseAccountResume:
+		e.accountShard(e.shards[s], s, lo, hi, true)
+	case phaseResume:
+		for id := lo; id < hi; id++ {
+			if rt := e.nodes[id]; !rt.finished {
+				e.resumeNode(rt)
+			}
+		}
+	}
+}
+
+// routeShard walks the shard's own sender range in ascending id (the
+// non-nil senderOut entries form a dense "staged this round" bitmap —
+// no sorted sender list needed) and buckets every message by its
+// destination shard. Messages to finished nodes are dropped here, before
+// they cost any downstream work.
+func (e *Engine) routeShard(st *shardState, lo, hi int) {
+	for id := lo; id < hi; id++ {
+		out := e.senderOut[id]
+		if out == nil {
+			continue
+		}
+		e.senderOut[id] = nil
+		for _, m := range out {
+			if e.nodes[m.to].finished {
+				st.dropped++
+				continue
+			}
+			t := m.to / shardSpan
+			st.xfer[t] = append(st.xfer[t], m)
+		}
+	}
+}
+
+// accountShard delivers, orders and accounts the inboxes of the shard's
+// destination range [lo, hi), then (when resume is set) hands each node
+// its inbox. OrderRandom must consume the shard RNG once per non-empty
+// inbox in ascending node id: the determinism golden tests pin this draw
+// sequence. Memory is evaluated for every live node — including nodes
+// that received nothing — so OverRounds counts charge-only and quiet
+// rounds too.
+func (e *Engine) accountShard(st *shardState, s, lo, hi int, resume bool) {
+	for _, src := range e.shards {
+		b := src.xfer[s]
+		if len(b) == 0 {
+			continue
+		}
+		for _, m := range b {
+			rt := e.nodes[m.to]
+			rt.inbox = append(rt.inbox, Incoming{From: m.from, Msg: m.msg})
+		}
+		st.messages += int64(len(b))
+		src.xfer[s] = b[:0]
+	}
+	for id := lo; id < hi; id++ {
+		rt := e.nodes[id]
+		if rt.finished {
+			continue
+		}
+		if len(rt.inbox) > 0 {
+			switch e.order {
+			case OrderRandom:
+				st.rng.Shuffle(len(rt.inbox), func(i, j int) {
+					rt.inbox[i], rt.inbox[j] = rt.inbox[j], rt.inbox[i]
+				})
+			case OrderReversed:
+				for i, j := 0, len(rt.inbox)-1; i < j; i, j = i+1, j-1 {
+					rt.inbox[i], rt.inbox[j] = rt.inbox[j], rt.inbox[i]
+				}
+			}
+		}
+		rt.inboxWords = int64(len(rt.inbox)) * MsgWords
+		total := rt.live + rt.inboxWords
+		if total > rt.peak {
+			rt.peak = total
+		}
+		if e.mu > 0 && total > e.mu {
+			st.over = append(st.over, overrun{node: id, words: total})
+		}
+		if resume {
+			e.resumeNode(rt)
+		}
+	}
+}
+
+// resumeNode hands the filled buffer to the node but keeps the backing
+// array: the next delivery for this node can only run after the node has
+// ticked again, so truncating here is safe under the Tick aliasing
+// contract.
+func (e *Engine) resumeNode(rt *nodeRT) {
+	in := rt.inbox
+	if len(in) == 0 {
+		in = nil
+	}
+	rt.inbox = rt.inbox[:0]
+	rt.resume <- in
+}

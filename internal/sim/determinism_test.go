@@ -3,7 +3,10 @@ package sim
 import (
 	"fmt"
 	"hash/fnv"
+	"runtime"
 	"testing"
+
+	"mucongest/internal/graph"
 )
 
 // detProgram is a mixed workload for the determinism regression tests:
@@ -44,9 +47,9 @@ func digestResult(res *Result) uint64 {
 	return h.Sum64()
 }
 
-func runDet(t *testing.T, order InboxOrder, seed int64) *Result {
+func runDet(t *testing.T, order InboxOrder, seed int64, opts ...Option) *Result {
 	t.Helper()
-	e := New(NewComplete(12), WithSeed(seed), WithInboxOrder(order))
+	e := New(NewComplete(12), append([]Option{WithSeed(seed), WithInboxOrder(order)}, opts...)...)
 	res, err := e.Run(detProgram)
 	if err != nil {
 		t.Fatal(err)
@@ -82,6 +85,44 @@ func TestDeterminismRegression(t *testing.T) {
 		}
 		if got := digestResult(a); got != want {
 			t.Errorf("order %v: digest = %#x, want golden %#x", order, got, want)
+		}
+		// The sharded delivery path must hit the same goldens for every
+		// worker count (here a single shard: the pool is capped at the
+		// shard count, pinning the serial-inline degradation).
+		for _, w := range []int{2, 4, 0} {
+			if got := digestResult(runDet(t, order, 42, WithSimWorkers(w))); got != want {
+				t.Errorf("order %v, workers %d: digest = %#x, want golden %#x", order, w, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedDeterminismAcrossWorkers pins the tentpole invariant of the
+// sharded delivery path on a topology spanning multiple shards
+// (n = 1536 > shardSpan, i.e. 3 shards): for every InboxOrder the digest
+// is a golden constant, bit-for-bit identical for every worker count —
+// including OrderRandom, whose permutations draw from per-shard RNG
+// streams derived only from the engine seed and the shard layout.
+func TestShardedDeterminismAcrossWorkers(t *testing.T) {
+	if n := 3 * shardSpan; n != 1536 {
+		t.Fatalf("shardSpan changed (%d); re-deriving the golden digests below is required", shardSpan)
+	}
+	topo := graph.Cycle(1536)
+	golden := map[InboxOrder]uint64{
+		OrderBySender: 0x5063c57af0676ab3,
+		OrderRandom:   0xc666c7d3c587cf4b,
+		OrderReversed: 0xc92d294f547ec64b,
+	}
+	for order, want := range golden {
+		for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+			e := New(topo, WithSeed(7), WithInboxOrder(order), WithSimWorkers(w))
+			res, err := e.Run(detProgram)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := digestResult(res); got != want {
+				t.Errorf("order %v, workers %d: digest = %#x, want golden %#x", order, w, got, want)
+			}
 		}
 	}
 }

@@ -3,8 +3,8 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"math/rand"
-	"sort"
+	"runtime"
+	"sync/atomic"
 )
 
 // Violation records a node exceeding its memory bound μ. One Violation
@@ -99,6 +99,42 @@ func WithStrictMemory() Option { return func(e *Engine) { e.strict = true } }
 // (default 2,000,000 rounds).
 func WithMaxRounds(r int) Option { return func(e *Engine) { e.maxRounds = r } }
 
+// WithSimWorkers sets the number of delivery workers the engine's round
+// loop shards routing, inbox ordering, memory accounting and the resume
+// fan-out across. w ≥ 1 is an explicit count; w < 1 selects
+// runtime.GOMAXPROCS(0). The effective pool is capped at the shard
+// count, so small topologies always run the serial inline path.
+// Results are bit-for-bit identical for every worker count.
+func WithSimWorkers(w int) Option {
+	return func(e *Engine) {
+		if w < 1 {
+			w = 0 // resolved to GOMAXPROCS at Run
+		}
+		e.workers = w
+	}
+}
+
+// defaultWorkers is the process-wide worker count used by engines built
+// without WithSimWorkers: 1 (serial) unless SetDefaultWorkers was called.
+var defaultWorkers = func() *atomic.Int32 {
+	v := new(atomic.Int32)
+	v.Store(1)
+	return v
+}()
+
+// SetDefaultWorkers sets the process-wide default delivery worker count
+// for engines created without an explicit WithSimWorkers option — the
+// hook cmd/muexp's -simworkers flag uses to reach the engines the
+// experiment runners construct internally. w < 1 selects
+// runtime.GOMAXPROCS(0). Safe for concurrent use; affects engines
+// created after the call.
+func SetDefaultWorkers(w int) {
+	if w < 1 {
+		w = 0
+	}
+	defaultWorkers.Store(int32(w))
+}
+
 // ErrMaxRounds is returned when the round limit is exceeded.
 var ErrMaxRounds = errors.New("sim: maximum round count exceeded")
 
@@ -114,10 +150,18 @@ type Engine struct {
 	order     InboxOrder
 	strict    bool
 	maxRounds int
+	workers   int // configured; 0 = GOMAXPROCS, resolved at Run
+
+	// Optional topology fast paths (resolved once in New): degree, the
+	// neighbor on a port, and the port of a neighbor id without
+	// materializing adjacency slices. Implicit topologies like Complete
+	// provide all three, keeping per-node setup O(1).
+	topoDeg  DegreeTopology
+	topoAt   IndexedTopology
+	topoPort PortedTopology
 
 	n       int
 	round   int
-	rng     *rand.Rand
 	nodes   []*nodeRT
 	done    chan signal
 	aborted bool
@@ -126,11 +170,18 @@ type Engine struct {
 	messages int64
 	dropped  int64
 
-	// Per-round scratch, reused across rounds to keep the hot loop
-	// allocation-free in steady state.
-	senderOut [][]routed // outbox staged this round, indexed by sender id
-	senders   []int      // ids with a non-empty staged outbox
-	ticked    []int      // ids that ticked (not finished) this round
+	// senderOut stages each sender's outbox for the round; a non-nil
+	// entry doubles as the "has staged messages" bit the route phase
+	// scans, replacing the old sorted sender-id list.
+	senderOut [][]routed
+
+	// Sharded delivery state — see deliver.go.
+	nshards  int
+	shards   []*shardState
+	poolSize int
+	workCh   chan phaseKind
+	workDone chan struct{}
+	cursor   atomic.Int64
 }
 
 type signal struct {
@@ -151,14 +202,19 @@ type nodeRT struct {
 	// the node is blocked in Tick, handed to the node at resume, and
 	// reused (overwritten) once the node reaches its next Tick — see the
 	// Tick documentation for the resulting aliasing contract.
-	inbox     []Incoming
-	live      int64 // words charged by the algorithm
-	peak      int64
-	ticks     int
-	finished  bool
-	outputs   []any
-	violation bool // a Violation was already recorded for this node (dedup)
-	vioIdx    int  // index of this node's Violation in the run's slice
+	inbox []Incoming
+	// inboxWords is the memory charge of the inbox delivered at the last
+	// barrier. It stays charged until the next barrier overwrites it:
+	// the engine cannot observe the node dropping the slice earlier, so
+	// strict-mode Charge accounting conservatively includes it.
+	inboxWords int64
+	live       int64 // words charged by the algorithm
+	peak       int64
+	ticks      int
+	finished   bool
+	outputs    []any
+	violation  bool // a Violation was already recorded for this node (dedup)
+	vioIdx     int  // index of this node's Violation in the run's slice
 }
 
 // New creates an engine over topo. The zero μ (unset WithMu) means
@@ -170,7 +226,11 @@ func New(topo Topology, opts ...Option) *Engine {
 		edgeCap:   1,
 		maxRounds: 2_000_000,
 		n:         topo.N(),
+		workers:   int(defaultWorkers.Load()),
 	}
+	e.topoDeg, _ = topo.(DegreeTopology)
+	e.topoAt, _ = topo.(IndexedTopology)
+	e.topoPort, _ = topo.(PortedTopology)
 	for _, o := range opts {
 		o(e)
 	}
@@ -188,7 +248,6 @@ func (e *Engine) N() int { return e.n }
 // node. Run returns an error if the round limit was hit, a node
 // panicked, or (in strict mode) μ was violated.
 func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
-	e.rng = rand.New(rand.NewSource(e.seed))
 	e.nodes = make([]*nodeRT, e.n)
 	e.done = make(chan signal, e.n)
 	e.round = 0
@@ -198,22 +257,26 @@ func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
 	e.dropped = 0
 	var violations []Violation
 
+	e.initShards()
+	e.senderOut = make([][]routed, e.n)
 	for i := 0; i < e.n; i++ {
 		e.nodes[i] = &nodeRT{resume: make(chan []Incoming, 1)}
 	}
-	e.senderOut = make([][]routed, e.n)
-	e.senders = make([]int, 0, e.n)
-	e.ticked = make([]int, 0, e.n)
 	for i := 0; i < e.n; i++ {
-		ctx := newCtx(e, i)
-		go runNode(ctx, program)
+		go runNode(newCtx(e, i), program)
 	}
+	e.startPool()
+	defer e.stopPool()
 
 	active := e.n
 	for active > 0 {
-		e.ticked = e.ticked[:0]
-		e.senders = e.senders[:0]
-		for j := 0; j < active; j++ {
+		expect := active
+		// Node errors are only applied to aborted/runErr after the whole
+		// barrier is collected: until every active node has signaled,
+		// stragglers may still be reading e.aborted on their way out of
+		// the previous Tick.
+		var nodeErr error
+		for j := 0; j < expect; j++ {
 			s := <-e.done
 			if debugPoison {
 				// The node just passed its Tick barrier (or finished), so
@@ -225,20 +288,24 @@ func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
 			}
 			if len(s.outbox) > 0 {
 				e.senderOut[s.id] = s.outbox
-				e.senders = append(e.senders, s.id)
 			}
 			if s.finished {
 				e.nodes[s.id].finished = true
-				if s.err != nil && e.runErr == nil && !errors.Is(s.err, errAbort) {
-					e.runErr = s.err
-					e.aborted = true
+				active--
+				if s.err != nil && nodeErr == nil && !errors.Is(s.err, errAbort) {
+					nodeErr = s.err
 				}
-			} else {
-				e.ticked = append(e.ticked, s.id)
 			}
 		}
-		active = len(e.ticked)
-		e.deliver(&violations)
+		if nodeErr != nil {
+			e.aborted = true
+			if e.runErr == nil {
+				e.runErr = nodeErr
+			}
+		}
+		// Violations recorded this barrier carry the pre-increment round
+		// counter, matching the pre-sharding engine's stamps.
+		r := e.round
 		e.round++
 		if e.round > e.maxRounds && active > 0 {
 			e.aborted = true
@@ -246,28 +313,31 @@ func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
 				e.runErr = ErrMaxRounds
 			}
 		}
-		if e.strict && len(violations) > 0 {
-			e.aborted = true
-			if e.runErr == nil {
-				e.runErr = fmt.Errorf("%w: %v", ErrMemory, violations[0])
+		e.runPhase(phaseRoute)
+		if e.strict {
+			// Strict mode needs every shard's accounting before the abort
+			// decision, so delivery and resume are separate phases.
+			e.runPhase(phaseAccount)
+			e.mergeRound(r, &violations)
+			if len(violations) > 0 {
+				e.aborted = true
+				if e.runErr == nil {
+					e.runErr = fmt.Errorf("%w: %v", ErrMemory, violations[0])
+				}
 			}
-		}
-		sort.Ints(e.ticked)
-		for _, id := range e.ticked {
-			rt := e.nodes[id]
-			in := rt.inbox
-			if len(in) == 0 {
-				in = nil
-			}
-			// Hand the filled buffer to the node but keep the backing
-			// array: the next deliver for this node can only run after
-			// the node has ticked again, so truncating here is safe
-			// under the Tick aliasing contract.
-			rt.inbox = rt.inbox[:0]
-			rt.resume <- in
+			e.runPhase(phaseResume)
+		} else {
+			// Fused fast path: each shard resumes its own nodes as soon as
+			// their inboxes are ordered and accounted — no second barrier.
+			e.runPhase(phaseAccountResume)
+			e.mergeRound(r, &violations)
 		}
 	}
 
+	for _, st := range e.shards {
+		e.messages += st.messages
+		e.dropped += st.dropped
+	}
 	res := &Result{
 		Messages:   e.messages,
 		Dropped:    e.dropped,
@@ -285,69 +355,91 @@ func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
 	return res, e.runErr
 }
 
-// deliver routes the round's staged outboxes into inboxes, applies the
-// inbox order, and performs memory accounting for inbox contents.
-//
-// Routing is O(m) bucketed rather than a global sort: senders are
-// visited in ascending id (one small sort over sender ids, not over
-// messages) and each sender's messages are appended to the destination
-// inboxes in send order. Every inbox therefore comes out keyed by
-// destination, ordered by sender and stable within a sender — the same
-// order the previous global (to, from) sort produced, but stable and
-// without the O(m log m) comparison sort. Ordering is deterministic
-// regardless of goroutine scheduling.
-func (e *Engine) deliver(violations *[]Violation) {
-	if len(e.senders) > 0 {
-		sort.Ints(e.senders)
-		for _, id := range e.senders {
-			out := e.senderOut[id]
-			e.senderOut[id] = nil
-			for _, m := range out {
-				rt := e.nodes[m.to]
-				if rt.finished {
-					e.dropped++
-					continue
-				}
-				rt.inbox = append(rt.inbox, Incoming{From: m.from, Msg: m.msg})
-				e.messages++
-			}
-		}
-	}
-	// Inbox ordering and accounting, in node-id order. OrderRandom must
-	// consume the engine RNG once per non-empty inbox in ascending id
-	// order: the determinism golden test pins this draw sequence. Memory
-	// is evaluated for every live node — including nodes that received
-	// nothing — so OverRounds counts charge-only and quiet rounds too.
-	for id, rt := range e.nodes {
-		if rt.finished {
-			continue
-		}
-		if len(rt.inbox) > 0 {
-			switch e.order {
-			case OrderRandom:
-				e.rng.Shuffle(len(rt.inbox), func(i, j int) {
-					rt.inbox[i], rt.inbox[j] = rt.inbox[j], rt.inbox[i]
-				})
-			case OrderReversed:
-				for i, j := 0, len(rt.inbox)-1; i < j; i, j = i+1, j-1 {
-					rt.inbox[i], rt.inbox[j] = rt.inbox[j], rt.inbox[i]
-				}
-			}
-		}
-		total := rt.live + int64(len(rt.inbox))*MsgWords
-		if total > rt.peak {
-			rt.peak = total
-		}
-		if e.mu > 0 && total > e.mu {
+// mergeRound folds the per-shard μ overruns of one barrier into the
+// run's Violation list. Shards are visited in ascending order and each
+// shard's overruns are recorded in ascending node id, so the merged
+// order is identical to the pre-sharding per-node sweep.
+func (e *Engine) mergeRound(round int, violations *[]Violation) {
+	for _, st := range e.shards {
+		for _, o := range st.over {
+			rt := e.nodes[o.node]
 			if rt.violation {
 				(*violations)[rt.vioIdx].OverRounds++
 			} else {
 				rt.violation = true
 				rt.vioIdx = len(*violations)
 				*violations = append(*violations,
-					Violation{Node: id, Round: e.round, Words: total, OverRounds: 1})
+					Violation{Node: o.node, Round: round, Words: o.words, OverRounds: 1})
 			}
 		}
+		st.over = st.over[:0]
+	}
+}
+
+// startPool resolves the configured worker count against GOMAXPROCS and
+// the shard count, and launches the persistent delivery workers when
+// more than one is useful. The pool lives for the whole Run; phases are
+// dispatched through workCh.
+func (e *Engine) startPool() {
+	w := e.workers
+	if w < 1 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > e.nshards {
+		w = e.nshards
+	}
+	if w < 1 {
+		w = 1
+	}
+	e.poolSize = w
+	if w == 1 {
+		return
+	}
+	e.workCh = make(chan phaseKind)
+	e.workDone = make(chan struct{}, w)
+	for i := 0; i < w; i++ {
+		go e.deliveryWorker()
+	}
+}
+
+func (e *Engine) stopPool() {
+	if e.workCh != nil {
+		close(e.workCh)
+		e.workCh = nil
+	}
+}
+
+// runPhase executes one delivery phase over every shard: inline when the
+// pool is serial, otherwise fanned out to the workers, which pull shard
+// indices from a shared cursor. Shard-to-worker assignment is arbitrary;
+// every phase's per-shard computation is self-contained (own RNG, own
+// buckets, own destination range), so results do not depend on it.
+func (e *Engine) runPhase(k phaseKind) {
+	if e.poolSize == 1 {
+		for s := 0; s < e.nshards; s++ {
+			e.shardPhase(k, s)
+		}
+		return
+	}
+	e.cursor.Store(0)
+	for i := 0; i < e.poolSize; i++ {
+		e.workCh <- k
+	}
+	for i := 0; i < e.poolSize; i++ {
+		<-e.workDone
+	}
+}
+
+func (e *Engine) deliveryWorker() {
+	for k := range e.workCh {
+		for {
+			s := int(e.cursor.Add(1) - 1)
+			if s >= e.nshards {
+				break
+			}
+			e.shardPhase(k, s)
+		}
+		e.workDone <- struct{}{}
 	}
 }
 
@@ -367,8 +459,8 @@ func runNode(ctx *Ctx, program func(*Ctx)) {
 	defer func() {
 		var err error
 		if r := recover(); r != nil {
-			if e, ok := r.(error); ok && errors.Is(e, errAbort) {
-				err = errAbort
+			if e, ok := r.(error); ok && (errors.Is(e, errAbort) || errors.Is(e, ErrMemory)) {
+				err = e
 			} else {
 				err = fmt.Errorf("sim: node %d panicked: %v", ctx.id, r)
 			}

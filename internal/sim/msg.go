@@ -7,7 +7,10 @@
 // goroutine; rounds are synchronized with a barrier hidden behind
 // Ctx.Tick. Between barriers all nodes compute in parallel, which both
 // matches the model (local computation is free) and exploits multicore
-// hardware.
+// hardware. The engine's own per-round work — routing, inbox ordering,
+// memory accounting, resume — is sharded by destination ranges across a
+// worker pool (WithSimWorkers); results are bit-for-bit identical for
+// every worker count, so parallelism is purely a wall-clock knob.
 //
 // Model mapping conventions (README.md, "Layout"):
 //   - A word is one int64. One Msg is one CONGEST message of O(log n)

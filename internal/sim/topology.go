@@ -1,5 +1,10 @@
 package sim
 
+import (
+	"fmt"
+	"sync"
+)
+
 // Topology describes the communication graph the engine runs on. It is
 // satisfied by graph.Graph; the engine only needs the node count and
 // adjacency lists. Adjacency lists must be symmetric: u lists v iff v
@@ -12,31 +17,100 @@ type Topology interface {
 	Neighbors(v int) []int
 }
 
+// DegreeTopology is an optional Topology extension: the degree of a node
+// without materializing its adjacency slice. Implementing it lets the
+// engine set up each node in O(1) instead of O(deg).
+type DegreeTopology interface {
+	Degree(v int) int
+}
+
+// IndexedTopology is an optional Topology extension: the neighbor id on
+// a given port without materializing the adjacency slice. Ports must be
+// consistent with Neighbors: NeighborAt(v, p) == Neighbors(v)[p].
+type IndexedTopology interface {
+	NeighborAt(v, port int) int
+}
+
+// PortedTopology is an optional Topology extension: the port of a
+// neighbor id (-1 when not adjacent) without materializing the
+// adjacency slice or a per-node port map.
+type PortedTopology interface {
+	PortOf(v, id int) int
+}
+
 // Complete is the all-to-all topology of the μ-Congested-Clique model
 // (Section 2.2 of the paper): every pair of nodes shares a communication
 // link regardless of the input graph.
+//
+// The topology is implicit — O(1) memory regardless of n. Node v's
+// neighbors are 0..n-1 except v in ascending order, so port p maps to
+// neighbor p for p < v and p+1 otherwise; Degree, NeighborAt and PortOf
+// answer from arithmetic alone, and the engine never materializes
+// adjacency. Neighbors materializes (and caches) a node's slice only
+// when a program actually asks for it.
 type Complete struct {
-	n   int
+	n  int
+	mu sync.Mutex
+	// adj lazily caches materialized neighbor slices, allocated on first
+	// Neighbors call; entries are built per requested node so memory
+	// stays proportional to the nodes that iterate their neighbor list.
 	adj [][]int
 }
 
-// NewComplete returns the complete topology on n nodes.
-func NewComplete(n int) *Complete {
-	c := &Complete{n: n, adj: make([][]int, n)}
-	for v := 0; v < n; v++ {
-		nb := make([]int, 0, n-1)
-		for u := 0; u < n; u++ {
-			if u != v {
-				nb = append(nb, u)
-			}
-		}
-		c.adj[v] = nb
-	}
-	return c
-}
+// NewComplete returns the complete topology on n nodes. Unlike explicit
+// graph construction this is O(1) in time and memory.
+func NewComplete(n int) *Complete { return &Complete{n: n} }
 
 // N returns the number of nodes.
 func (c *Complete) N() int { return c.n }
 
-// Neighbors returns all nodes other than v.
-func (c *Complete) Neighbors(v int) []int { return c.adj[v] }
+// Degree returns n-1 for every node.
+func (c *Complete) Degree(v int) int { return c.n - 1 }
+
+// NeighborAt returns the neighbor of v on the given port: ports count
+// through 0..n-1 skipping v.
+func (c *Complete) NeighborAt(v, port int) int {
+	if port < 0 || port >= c.n-1 {
+		panic(fmt.Sprintf("sim: complete topology has no port %d (degree %d)", port, c.n-1))
+	}
+	if port < v {
+		return port
+	}
+	return port + 1
+}
+
+// PortOf returns the port of node id as seen from v, or -1 when id is v
+// or out of range.
+func (c *Complete) PortOf(v, id int) int {
+	if id == v || id < 0 || id >= c.n {
+		return -1
+	}
+	if id < v {
+		return id
+	}
+	return id - 1
+}
+
+// Neighbors returns all nodes other than v in ascending order. The slice
+// is materialized lazily and cached per node; callers must not modify
+// it. Safe for concurrent use.
+func (c *Complete) Neighbors(v int) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.adj == nil {
+		c.adj = make([][]int, c.n)
+	}
+	if a := c.adj[v]; a != nil {
+		return a
+	}
+	a := make([]int, c.n-1)
+	for p := range a {
+		if p < v {
+			a[p] = p
+		} else {
+			a[p] = p + 1
+		}
+	}
+	c.adj[v] = a
+	return a
+}

@@ -214,6 +214,23 @@ var registry = []Family{
 		},
 	},
 	{
+		Name: "complete",
+		Doc:  "complete graph K_n (explicit adjacency; engine-scale all-to-all runs should use sim.NewComplete)",
+		Params: []Param{
+			{"n", "48", "node count (1..2048: the adjacency is materialized)"},
+		},
+		Build: func(v *Values, rng *rand.Rand) (*graph.Graph, error) {
+			n := v.Int("n")
+			if err := v.Err(); err != nil {
+				return nil, err
+			}
+			if n < 1 || n > 2048 {
+				return nil, fmt.Errorf("topo: complete needs 1 ≤ n ≤ 2048 (K_n materializes n² adjacency; use sim.NewComplete beyond that)")
+			}
+			return graph.Complete(n), nil
+		},
+	},
+	{
 		Name: "powerlaw",
 		Doc:  "Barabási–Albert preferential attachment (power-law degrees)",
 		Params: []Param{

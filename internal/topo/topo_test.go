@@ -86,6 +86,8 @@ func TestBuildValueErrors(t *testing.T) {
 		"hypercube:dim=21",
 		"powerlaw:n=3,attach=3",
 		"cycle:n=2",
+		"complete:n=0",    // out of range
+		"complete:n=4096", // beyond the explicit-adjacency cap
 	}
 	for _, c := range cases {
 		sp, err := Parse(c)
@@ -148,6 +150,10 @@ func TestBuildShapes(t *testing.T) {
 	if err != nil || !g.Connected() {
 		t.Fatalf("gnp conn: connected=%v err=%v", g.Connected(), err)
 	}
+	g, err = MustParse("complete:n=9").Build(rng())
+	if err != nil || g.N() != 9 || g.M() != 9*8/2 || g.MaxDegree() != 8 || g.Diameter() != 1 {
+		t.Fatalf("complete: n=%d m=%d Δ=%d err=%v", g.N(), g.M(), g.MaxDegree(), err)
+	}
 }
 
 func TestWithOverride(t *testing.T) {
@@ -160,8 +166,8 @@ func TestWithOverride(t *testing.T) {
 
 func TestFamilyNamesSortedAndComplete(t *testing.T) {
 	names := FamilyNames()
-	want := []string{"barbell", "cycle", "cycliques", "gnp", "grid", "hub",
-		"hypercube", "path", "powerlaw", "regular", "star", "torus"}
+	want := []string{"barbell", "complete", "cycle", "cycliques", "gnp", "grid",
+		"hub", "hypercube", "path", "powerlaw", "regular", "star", "torus"}
 	if len(names) != len(want) {
 		t.Fatalf("families %v, want %v", names, want)
 	}
