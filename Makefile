@@ -1,0 +1,24 @@
+# Developer entry points. CI runs the equivalent steps directly; these
+# targets exist for local use and for regenerating committed artifacts.
+
+BENCH_RECORD ?= BENCH_PR4.json
+
+.PHONY: test bench bench-record
+
+test:
+	go build ./...
+	go test ./...
+
+# The engine micro-benchmark cells, full precision.
+bench:
+	go test -run '^$$' -bench 'BenchmarkEngineRound' -benchmem .
+
+# Regenerate the committed performance baseline: run every
+# BenchmarkEngineRound* cell once, convert the output to the
+# mucongest.bench/v1 schema, and validate it. Commit the result when a
+# PR moves engine performance.
+bench-record:
+	go test -run '^$$' -bench 'BenchmarkEngineRound' -benchtime 1x -benchmem . \
+		| go run ./internal/tools/benchjson > $(BENCH_RECORD)
+	go run ./internal/tools/recordcheck < $(BENCH_RECORD)
+	@echo "wrote $(BENCH_RECORD)"

@@ -104,6 +104,15 @@ func BenchmarkEngineRoundReversed64(b *testing.B) {
 	benchEngineRounds(b, sim.NewComplete(64), 32, sim.WithInboxOrder(sim.OrderReversed))
 }
 
+// BenchmarkEngineRoundBroadcastComplete512 isolates the per-message
+// send path at high fan-out: 512 nodes broadcasting on the implicit
+// complete topology is ~262k Send meters + routed appends per round,
+// all through the IndexedTopology port arithmetic (no materialized
+// adjacency), so ns/op tracks Ctx.Broadcast/Send overhead directly.
+func BenchmarkEngineRoundBroadcastComplete512(b *testing.B) {
+	benchEngineRounds(b, sim.NewComplete(512), 4)
+}
+
 // Large-scale cells: the engine round loop at 65536 nodes, the scale the
 // sharded delivery path is built for. The Workers1/Workers4/WorkersMax
 // triple measures the parallel-delivery speedup directly (identical

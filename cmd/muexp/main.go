@@ -5,6 +5,7 @@
 // Usage:
 //
 //	muexp [-seed N] [-exp E3] [-parallel N] [-simworkers N] [-format table|csv|json] [-out FILE] [-topo SPEC]
+//	      [-cpuprofile FILE] [-memprofile FILE]
 //
 // By default every experiment runs, spread over a worker pool of
 // GOMAXPROCS goroutines. Each table cell derives its own seed from
@@ -23,6 +24,10 @@
 // stdout. -topo re-runs the selected experiments on any registered
 // topology family, e.g. -topo torus:rows=8,cols=8 (see `mugraph -kinds`
 // for the registry).
+//
+// -cpuprofile and -memprofile write runtime/pprof profiles of the real
+// experiment sweep (engine hot paths included), for `go tool pprof`.
+// Unwritable profile paths are usage errors (exit 2).
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"mucongest/internal/bench"
@@ -56,6 +62,8 @@ func main() {
 	topoSpec := flag.String("topo", "",
 		"topology spec override, family:k=v,... (families: "+
 			strings.Join(topo.FamilyNames(), ", ")+")")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
 
 	if *format != "table" && *format != "csv" && *format != "json" {
@@ -102,6 +110,35 @@ func main() {
 		outFile = f
 		w = f
 	}
+	// Profile files are created after every usage check (so a flag typo
+	// never clobbers an existing profile with a truncated one) but
+	// before any work runs, so an unwritable path is still a usage
+	// error (exit 2), not a wasted sweep.
+	var memFile *os.File
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-memprofile: %v\n", err)
+			os.Exit(2)
+		}
+		memFile = f
+	}
+	stopProfiles := func() {}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "-cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		stopProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
 	// Table.Fprint discards fmt errors, so track the first write failure
 	// here: a truncated -out file must not exit 0.
 	ew := &errWriter{w: w}
@@ -123,6 +160,16 @@ func main() {
 	}
 	if outFile != nil {
 		if cerr := outFile.Close(); err == nil {
+			err = cerr
+		}
+	}
+	stopProfiles()
+	if memFile != nil {
+		runtime.GC() // settle the heap so the profile reflects retained memory
+		if perr := pprof.WriteHeapProfile(memFile); err == nil {
+			err = perr
+		}
+		if cerr := memFile.Close(); err == nil {
 			err = cerr
 		}
 	}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"runtime/debug"
+	"testing"
+
+	"mucongest/internal/graph"
+)
+
+// TestSteadyStateRoundAllocFree pins the engine's steady-state round
+// path to zero allocations per round: every buffer the round loop
+// touches — staged outboxes, transfer buckets, inboxes, the bandwidth
+// meter, the barrier — must be reused once warmed up. It measures the
+// allocation *delta* between a short run and a long run of the same
+// broadcast workload on a mid-size multi-shard cycle, so setup and
+// warm-up allocations (goroutines, channels on a cold scratch pool,
+// first-round buffer growth) cancel out and only the per-round cost
+// remains.
+func TestSteadyStateRoundAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc accounting is meaningless under -race")
+	}
+	// A GC cycle mid-measurement evicts the engine's scratch pool, and
+	// the following run's full re-setup (~hundreds of allocs) would land
+	// in the delta as a false positive. Alloc accounting, not memory
+	// behavior, is under test — so pause GC for its duration.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	topo := graph.Cycle(2048) // 4 shards: the sharded delivery path, not the n ≤ 512 degenerate case
+	const base, long = 8, 40
+	var runErr error
+	run := func(rounds int, workers int) {
+		e := New(topo, WithSeed(1), WithSimWorkers(workers))
+		program := func(c *Ctx) {
+			for r := 0; r < rounds; r++ {
+				c.Broadcast(Msg{Kind: 1, A: int64(c.ID()), B: int64(r)})
+				c.Tick()
+			}
+		}
+		if _, err := e.Run(program); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		short := testing.AllocsPerRun(5, func() { run(base, workers) })
+		full := testing.AllocsPerRun(5, func() { run(long, workers) })
+		if runErr != nil {
+			t.Fatal(runErr)
+		}
+		perRound := (full - short) / float64(long-base)
+		// Zero, with only float headroom: a real regression (per-node or
+		// per-message allocation) costs thousands per round at n=2048.
+		if perRound > 0.01 {
+			t.Errorf("workers=%d: steady-state round allocates: %.2f allocs/round (short=%.0f, long=%.0f)",
+				workers, perRound, short, full)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -16,24 +17,50 @@ import (
 // private RNG on first Rand.
 type Ctx struct {
 	eng *Engine
+	rt  *nodeRT // this node's runtime slot, cached off the hot paths
 	id  int
 	deg int
-	nbr []int       // lazily materialized neighbor list (nil until needed)
-	prt map[int]int // lazy id -> port fallback (topologies without PortOf)
-	rng *rand.Rand  // lazily created on first Rand
+	at  IndexedTopology // cached engine fast path (nil when unsupported)
+	nbr []int           // lazily materialized neighbor list (nil until needed)
+	prt map[int]int     // lazy id -> port fallback (topologies without PortOf)
+	rng *rand.Rand      // lazily created on first Rand
 
 	outbox []routed
-	spare  []routed    // retired outbox buffer, recycled by takeOutbox
-	sent   map[int]int // port -> messages sent this round
+	spare  []routed // retired outbox buffer, recycled by takeOutbox
+
+	// Per-edge bandwidth meter. sent[p] packs the round stamp (high 32
+	// bits) over the count of messages sent on port p (low 32 bits); an
+	// entry is valid only while its stamp equals sentRound, so
+	// takeOutbox's reset is an O(1) stamp bump instead of a per-round
+	// clear. The array is sized lazily by the highest port actually
+	// used, so a node that sends on few ports of a huge degree stays
+	// cheap. sentRound wraps at 2³², far beyond any bounded run
+	// (WithMaxRounds defaults to 2·10⁶).
+	sent      []uint64
+	sentRound uint32
+	sentCap   uint32 // edgeCap clamped to uint32, cached off the Engine
 }
 
-func newCtx(e *Engine, id int) *Ctx {
-	c := &Ctx{eng: e, id: id, sent: make(map[int]int)}
+// newCtx initializes the node's slot of the engine's flat Ctx slice —
+// one allocation per run, not per node — and returns it.
+func newCtx(e *Engine, ctxs []Ctx, id int) *Ctx {
+	c := &ctxs[id]
+	c.eng, c.rt, c.id, c.at = e, &e.nodes[id], id, e.topoAt
 	if e.topoDeg != nil {
 		c.deg = e.topoDeg.Degree(id)
 	} else {
 		c.nbr = e.topo.Neighbors(id)
 		c.deg = len(c.nbr)
+	}
+	switch {
+	case e.edgeCap > math.MaxInt32:
+		c.sentCap = math.MaxInt32
+	case e.edgeCap < 0:
+		// A negative cap must stay fail-fast (the first Send panics),
+		// not wrap to an effectively unlimited uint32.
+		c.sentCap = 0
+	default:
+		c.sentCap = uint32(e.edgeCap)
 	}
 	return c
 }
@@ -65,8 +92,8 @@ func (c *Ctx) Neighbors() []int { return c.neighbors() }
 
 // Neighbor returns the id of the neighbor on the given port.
 func (c *Ctx) Neighbor(port int) int {
-	if c.nbr == nil && c.eng.topoAt != nil {
-		return c.eng.topoAt.NeighborAt(c.id, port)
+	if c.nbr == nil && c.at != nil {
+		return c.at.NeighborAt(c.id, port)
 	}
 	return c.neighbors()[port]
 }
@@ -99,18 +126,58 @@ func (c *Ctx) Rand() *rand.Rand {
 }
 
 // Round returns the number of Tick calls this node has performed.
-func (c *Ctx) Round() int { return c.eng.nodes[c.id].ticks }
+func (c *Ctx) Round() int { return c.rt.ticks }
+
+// meter charges one message against the per-edge cap of port, growing
+// the stamped count array to cover it first.
+func (c *Ctx) meter(port int) {
+	if port >= len(c.sent) {
+		c.growSent(port + 1)
+	}
+	v := c.sent[port]
+	if uint32(v>>32) != c.sentRound {
+		v = uint64(c.sentRound) << 32 // stale stamp: count restarts at 0
+	}
+	if uint32(v) >= c.sentCap {
+		panic(fmt.Sprintf("sim: node %d exceeded edge capacity %d to port %d in one round",
+			c.id, c.eng.edgeCap, port))
+	}
+	c.sent[port] = v + 1
+}
+
+// growSent extends the bandwidth-meter array to at least n entries
+// (doubling, capped at the degree) so repeated growth on ascending ports
+// stays amortized O(1).
+func (c *Ctx) growSent(n int) {
+	size := 2 * len(c.sent)
+	if size < n {
+		size = n
+	}
+	if size > c.deg {
+		size = c.deg
+	}
+	if size < n {
+		size = n // port ≥ degree: out of range, but let the caller panic on use
+	}
+	sent := make([]uint64, size)
+	copy(sent, c.sent)
+	c.sent = sent
+}
 
 // Send queues one message to the neighbor on port for delivery at the
 // start of the next round. It panics if the per-edge bandwidth cap is
 // exceeded within the current round.
 func (c *Ctx) Send(port int, m Msg) {
-	if c.sent[port] >= c.eng.edgeCap {
-		panic(fmt.Sprintf("sim: node %d exceeded edge capacity %d to port %d in one round",
-			c.id, c.eng.edgeCap, port))
+	c.meter(port)
+	var to int
+	if c.nbr != nil {
+		to = c.nbr[port]
+	} else if c.at != nil {
+		to = c.at.NeighborAt(c.id, port)
+	} else {
+		to = c.neighbors()[port]
 	}
-	c.sent[port]++
-	c.outbox = append(c.outbox, routed{from: c.id, to: c.Neighbor(port), msg: m})
+	c.outbox = append(c.outbox, routed{from: c.id, to: to, msg: m})
 }
 
 // SendID queues one message to the adjacent node with the given id.
@@ -122,11 +189,54 @@ func (c *Ctx) SendID(id int, m Msg) {
 	c.Send(p, m)
 }
 
-// Broadcast queues one copy of m to every neighbor.
+// Broadcast queues one copy of m to every neighbor. It meters and
+// resolves all ports in single passes instead of re-deriving each
+// neighbor through the generic Send path.
 func (c *Ctx) Broadcast(m Msg) {
-	for p := 0; p < c.deg; p++ {
-		c.Send(p, m)
+	deg := c.deg
+	if deg == 0 {
+		return
 	}
+	if len(c.sent) < deg {
+		c.growSent(deg)
+	}
+	stamp := uint64(c.sentRound) << 32
+	for p := 0; p < deg; p++ {
+		v := c.sent[p]
+		if uint32(v>>32) != c.sentRound {
+			v = stamp
+		}
+		if uint32(v) >= c.sentCap {
+			panic(fmt.Sprintf("sim: node %d exceeded edge capacity %d to port %d in one round",
+				c.id, c.eng.edgeCap, p))
+		}
+		c.sent[p] = v + 1
+	}
+	out := c.outbox
+	if need := len(out) + deg; cap(out) < need {
+		// One growth instead of doubling through the append loop; at
+		// least 2x so repeated Broadcasts in one round stay amortized.
+		if dbl := 2 * cap(out); need < dbl {
+			need = dbl
+		}
+		grown := make([]routed, len(out), need)
+		copy(grown, out)
+		out = grown
+	}
+	if nbr := c.nbr; nbr != nil {
+		for _, u := range nbr {
+			out = append(out, routed{from: c.id, to: u, msg: m})
+		}
+	} else if at := c.at; at != nil {
+		for p := 0; p < deg; p++ {
+			out = append(out, routed{from: c.id, to: at.NeighborAt(c.id, p), msg: m})
+		}
+	} else {
+		for _, u := range c.neighbors() {
+			out = append(out, routed{from: c.id, to: u, msg: m})
+		}
+	}
+	c.outbox = out
 }
 
 // Tick ends the node's current round: queued messages are handed to the
@@ -140,9 +250,12 @@ func (c *Ctx) Broadcast(m Msg) {
 // `-tags simdebug` to poison retired buffers and surface violations of
 // this contract as sentinel messages (From/Kind = -1).
 func (c *Ctx) Tick() []Incoming {
-	rt := c.eng.nodes[c.id]
+	rt := c.rt
 	rt.ticks++
-	c.eng.done <- signal{id: c.id, outbox: c.takeOutbox()}
+	if out := c.takeOutbox(); len(out) > 0 {
+		c.eng.senderOut[c.id] = out
+	}
+	c.eng.arrive()
 	in := <-rt.resume
 	if c.eng.aborted {
 		panic(errAbort)
@@ -161,12 +274,14 @@ func (c *Ctx) Idle(k int) {
 // Emit outputs v. Per the μ-CONGEST model, emitted outputs leave the
 // node immediately and consume no memory.
 func (c *Ctx) Emit(v any) {
-	rt := c.eng.nodes[c.id]
-	rt.outputs = append(rt.outputs, v)
+	c.rt.outputs = append(c.rt.outputs, v)
 }
 
 // Charge records that the algorithm now holds `words` additional words
 // of memory. Peak usage and μ violations are tracked by the engine.
+// Negative words are rejected with a panic: silently shrinking the
+// meter would bypass Release's underflow check and could drive the
+// live count negative. Use Release to return memory.
 //
 // The words delivered to the node at the last barrier stay charged
 // alongside the algorithm's live words — the engine cannot observe the
@@ -175,7 +290,11 @@ func (c *Ctx) Emit(v any) {
 // accounting: a node that charges over μ while still holding its inbox
 // aborts (strict) and has the overrun reflected in PeakWords.
 func (c *Ctx) Charge(words int64) {
-	rt := c.eng.nodes[c.id]
+	if words < 0 {
+		panic(fmt.Sprintf("sim: node %d Charge(%d): negative words (use Release to return memory)",
+			c.id, words))
+	}
+	rt := c.rt
 	rt.live += words
 	if total := rt.live + rt.inboxWords; total > rt.peak {
 		rt.peak = total
@@ -186,9 +305,14 @@ func (c *Ctx) Charge(words int64) {
 	}
 }
 
-// Release returns `words` words to the memory meter.
+// Release returns `words` words to the memory meter. Negative words are
+// rejected with a panic, symmetrically with Charge.
 func (c *Ctx) Release(words int64) {
-	rt := c.eng.nodes[c.id]
+	if words < 0 {
+		panic(fmt.Sprintf("sim: node %d Release(%d): negative words (use Charge to add memory)",
+			c.id, words))
+	}
+	rt := c.rt
 	rt.live -= words
 	if rt.live < 0 {
 		panic(fmt.Sprintf("sim: node %d released more memory than charged", c.id))
@@ -197,18 +321,17 @@ func (c *Ctx) Release(words int64) {
 
 // Live returns the words currently charged by the algorithm (excluding
 // the in-flight inbox).
-func (c *Ctx) Live() int64 { return c.eng.nodes[c.id].live }
+func (c *Ctx) Live() int64 { return c.rt.live }
 
 // takeOutbox hands the queued messages to the engine and recycles the
 // buffer retired one barrier ago: the engine finished delivering from it
 // before this node was last resumed, so it is free for reuse. The two
-// buffers alternate, making steady-state sends allocation-free.
+// buffers alternate, making steady-state sends allocation-free. Bumping
+// the round stamp invalidates every per-port send count in O(1).
 func (c *Ctx) takeOutbox() []routed {
 	out := c.outbox
 	c.outbox = c.spare[:0]
 	c.spare = out
-	for k := range c.sent {
-		delete(c.sent, k)
-	}
+	c.sentRound++
 	return out
 }

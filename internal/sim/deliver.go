@@ -1,6 +1,9 @@
 package sim
 
-import "math/rand"
+import (
+	"errors"
+	"math/rand"
+)
 
 // Sharded delivery: the engine's per-round work — routing staged
 // outboxes into inboxes, applying the inbox order, memory accounting and
@@ -40,7 +43,10 @@ type phaseKind uint8
 
 const (
 	// phaseRoute buckets the shard's staged sender outboxes by
-	// destination shard, counting drops to finished nodes.
+	// destination shard, counting drops to finished nodes. It also
+	// performs the shard's slice of the barrier bookkeeping the engine
+	// used to do serially: poisoning retired inboxes (simdebug),
+	// counting newly finished nodes and harvesting their errors.
 	phaseRoute phaseKind = iota
 	// phaseAccount drains the buckets addressed to the shard into its
 	// destination inboxes, applies the inbox order and charges memory.
@@ -68,6 +74,13 @@ type shardState struct {
 	messages int64 // delivered to this shard's destinations, whole run
 	dropped  int64 // dropped by this shard's senders, whole run
 	over     []overrun
+
+	// Barrier bookkeeping staged by phaseRoute and drained (and reset)
+	// by the engine between phases: how many of the shard's nodes
+	// terminated at this barrier, and the error of the lowest-id node
+	// that failed (excluding the engine's own abort sentinel).
+	newlyFinished int
+	err           error
 }
 
 // overrun is one node's μ overrun at the current barrier, staged
@@ -95,17 +108,38 @@ func shardSeed(seed int64, s int) int64 {
 	return int64(x)
 }
 
-func (e *Engine) initShards() {
+// initShards sizes the shard scratch for this run, reusing pooled shard
+// states where available: buckets keep their capacity, RNGs keep their
+// source (re-seeded below, so the draw stream is exactly that of a
+// fresh run), and counters reset.
+func (e *Engine) initShards(sc *runScratch) {
 	e.nshards = (e.n + shardSpan - 1) / shardSpan
 	if e.nshards < 1 {
 		e.nshards = 1
 	}
-	e.shards = make([]*shardState, e.nshards)
-	for s := range e.shards {
-		e.shards[s] = &shardState{
-			rng:  rand.New(rand.NewSource(shardSeed(e.seed, s))),
-			xfer: make([][]routed, e.nshards),
+	for len(sc.shards) < e.nshards {
+		sc.shards = append(sc.shards, &shardState{})
+	}
+	e.shards = sc.shards[:e.nshards]
+	for s, st := range e.shards {
+		if st.rng == nil {
+			st.rng = rand.New(rand.NewSource(shardSeed(e.seed, s)))
+		} else {
+			st.rng.Seed(shardSeed(e.seed, s))
 		}
+		if cap(st.xfer) < e.nshards {
+			st.xfer = make([][]routed, e.nshards)
+		} else {
+			st.xfer = st.xfer[:e.nshards]
+			for t := range st.xfer {
+				st.xfer[t] = st.xfer[t][:0]
+			}
+		}
+		st.over = st.over[:0]
+		st.messages = 0
+		st.dropped = 0
+		st.newlyFinished = 0
+		st.err = nil
 	}
 }
 
@@ -125,7 +159,7 @@ func (e *Engine) shardPhase(k phaseKind, s int) {
 		e.accountShard(e.shards[s], s, lo, hi, true)
 	case phaseResume:
 		for id := lo; id < hi; id++ {
-			if rt := e.nodes[id]; !rt.finished {
+			if rt := &e.nodes[id]; !rt.finished {
 				e.resumeNode(rt)
 			}
 		}
@@ -137,15 +171,48 @@ func (e *Engine) shardPhase(k phaseKind, s int) {
 // no sorted sender list needed) and buckets every message by its
 // destination shard. Messages to finished nodes are dropped here, before
 // they cost any downstream work.
+//
+// The walk doubles as the shard's slice of barrier collection: every
+// node that arrived at this barrier (ticked or just terminated) gets
+// its retired inbox poisoned under simdebug, and nodes whose done bit
+// is newly set are counted and their errors harvested into the shard
+// scratch — the engine folds those into active/runErr between phases.
+// The drop check reads the done bit, not finished: done is written only
+// by the node itself before its barrier arrival, so it is immutable
+// during the phase and safe to read across shards; finished is the
+// owning shard's acknowledgment, written in its account phase.
 func (e *Engine) routeShard(st *shardState, lo, hi int) {
+	nodes := e.nodes
+	senderOut := e.senderOut
 	for id := lo; id < hi; id++ {
-		out := e.senderOut[id]
+		rt := &nodes[id]
+		if rt.finished {
+			continue // terminated at an earlier barrier; nothing staged
+		}
+		if debugPoison {
+			// The node just passed its Tick barrier (or finished), so by
+			// the Tick aliasing contract it may no longer read the inbox
+			// slice it was handed last round. Poison the retired buffer
+			// so contract violations read sentinels, not silently stale
+			// or clobbered messages.
+			poisonStale(rt)
+		}
+		if rt.done {
+			st.newlyFinished++
+			if rt.nodeErr != nil {
+				if st.err == nil && !errors.Is(rt.nodeErr, errAbort) {
+					st.err = rt.nodeErr
+				}
+				rt.nodeErr = nil
+			}
+		}
+		out := senderOut[id]
 		if out == nil {
 			continue
 		}
-		e.senderOut[id] = nil
+		senderOut[id] = nil
 		for _, m := range out {
-			if e.nodes[m.to].finished {
+			if nodes[m.to].done {
 				st.dropped++
 				continue
 			}
@@ -163,25 +230,35 @@ func (e *Engine) routeShard(st *shardState, lo, hi int) {
 // that received nothing — so OverRounds counts charge-only and quiet
 // rounds too.
 func (e *Engine) accountShard(st *shardState, s, lo, hi int, resume bool) {
+	nodes := e.nodes
 	for _, src := range e.shards {
 		b := src.xfer[s]
 		if len(b) == 0 {
 			continue
 		}
 		for _, m := range b {
-			rt := e.nodes[m.to]
+			rt := &nodes[m.to]
 			rt.inbox = append(rt.inbox, Incoming{From: m.from, Msg: m.msg})
 		}
 		st.messages += int64(len(b))
 		src.xfer[s] = b[:0]
 	}
+	order, mu := e.order, e.mu
 	for id := lo; id < hi; id++ {
-		rt := e.nodes[id]
+		rt := &nodes[id]
 		if rt.finished {
 			continue
 		}
-		if len(rt.inbox) > 0 {
-			switch e.order {
+		if rt.done {
+			// Terminated at this barrier: acknowledge so later rounds skip
+			// the node everywhere. No ordering, metering or resume — the
+			// pre-barrier engine skipped nodes it had just collected as
+			// finished the same way.
+			rt.finished = true
+			continue
+		}
+		if len(rt.inbox) > 0 && order != OrderBySender {
+			switch order {
 			case OrderRandom:
 				st.rng.Shuffle(len(rt.inbox), func(i, j int) {
 					rt.inbox[i], rt.inbox[j] = rt.inbox[j], rt.inbox[i]
@@ -197,7 +274,7 @@ func (e *Engine) accountShard(st *shardState, s, lo, hi int, resume bool) {
 		if total > rt.peak {
 			rt.peak = total
 		}
-		if e.mu > 0 && total > e.mu {
+		if mu > 0 && total > mu {
 			st.over = append(st.over, overrun{node: id, words: total})
 		}
 		if resume {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"runtime"
+	"strings"
 	"testing"
 
 	"mucongest/internal/graph"
@@ -103,6 +104,12 @@ func TestDeterminismRegression(t *testing.T) {
 // is a golden constant, bit-for-bit identical for every worker count —
 // including OrderRandom, whose permutations draw from per-shard RNG
 // streams derived only from the engine seed and the shard layout.
+//
+// The strict sweep runs the same workload in strict-memory mode with a
+// μ no node ever reaches: strict runs split the fused account+resume
+// phase into separate barriers, so the digests prove the split path and
+// the fused fast path are observably identical under the zero-channel
+// barrier.
 func TestShardedDeterminismAcrossWorkers(t *testing.T) {
 	if n := 3 * shardSpan; n != 1536 {
 		t.Fatalf("shardSpan changed (%d); re-deriving the golden digests below is required", shardSpan)
@@ -115,14 +122,73 @@ func TestShardedDeterminismAcrossWorkers(t *testing.T) {
 	}
 	for order, want := range golden {
 		for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
-			e := New(topo, WithSeed(7), WithInboxOrder(order), WithSimWorkers(w))
-			res, err := e.Run(detProgram)
-			if err != nil {
-				t.Fatal(err)
+			for _, strict := range []bool{false, true} {
+				opts := []Option{WithSeed(7), WithInboxOrder(order), WithSimWorkers(w)}
+				if strict {
+					opts = append(opts, WithMu(1<<40), WithStrictMemory())
+				}
+				e := New(topo, opts...)
+				res, err := e.Run(detProgram)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := digestResult(res); got != want {
+					t.Errorf("order %v, workers %d, strict %v: digest = %#x, want golden %#x",
+						order, w, strict, got, want)
+				}
 			}
-			if got := digestResult(res); got != want {
-				t.Errorf("order %v, workers %d: digest = %#x, want golden %#x", order, w, got, want)
+		}
+	}
+}
+
+// TestNodeErrorAbortDeterministicAcrossWorkers pins the abort path of
+// the zero-channel barrier on a multi-shard topology: two nodes in
+// different shards fail at the same barrier, and for every worker count
+// the run must (a) report the lowest-id failure — error harvesting
+// walks shards and node ids in ascending order, where the old serial
+// collect loop reported whichever signal happened to arrive first —
+// and (b) produce an identical Result for the rounds that completed.
+func TestNodeErrorAbortDeterministicAcrossWorkers(t *testing.T) {
+	topo := graph.Cycle(1536)
+	program := func(c *Ctx) {
+		for r := 0; ; r++ {
+			for _, u := range c.Neighbors() {
+				c.SendID(u, Msg{Kind: 1, A: int64(c.ID()), B: int64(r)})
 			}
+			in := c.Tick()
+			var h int64
+			for i, m := range in {
+				h = h*1_000_003 + int64(m.From+1)*31 + int64(i+1)
+			}
+			c.Emit(h)
+			if r == 2 && (c.ID() == 300 || c.ID() == 900) {
+				panic(fmt.Sprintf("node %d exploded", c.ID()))
+			}
+		}
+	}
+	var wantDigest uint64
+	var wantErr string
+	for i, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+		e := New(topo, WithSeed(7), WithSimWorkers(w))
+		res, err := e.Run(program)
+		if err == nil {
+			t.Fatalf("workers %d: expected node panic to surface as run error", w)
+		}
+		// Node 300 lives in shard 0, node 900 in shard 1; the harvest
+		// must deterministically pick node 300.
+		if want := "node 300 exploded"; !strings.Contains(err.Error(), want) {
+			t.Fatalf("workers %d: err = %v, want the lowest failing node's error (%q)", w, err, want)
+		}
+		got := digestResult(res)
+		if i == 0 {
+			wantDigest, wantErr = got, err.Error()
+			continue
+		}
+		if got != wantDigest {
+			t.Errorf("workers %d: abort-run digest = %#x, want %#x", w, got, wantDigest)
+		}
+		if err.Error() != wantErr {
+			t.Errorf("workers %d: err = %q, want %q", w, err.Error(), wantErr)
 		}
 	}
 }

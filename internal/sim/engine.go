@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 )
 
@@ -162,17 +163,27 @@ type Engine struct {
 
 	n       int
 	round   int
-	nodes   []*nodeRT
-	done    chan signal
+	nodes   []nodeRT
 	aborted bool
 	runErr  error
 
 	messages int64
 	dropped  int64
 
-	// senderOut stages each sender's outbox for the round; a non-nil
-	// entry doubles as the "has staged messages" bit the route phase
-	// scans, replacing the old sorted sender-id list.
+	// Zero-channel barrier: every node that was resumed into a round
+	// arrives back at the engine exactly once — by publishing its outbox
+	// into senderOut and (when terminating) its finished/err state into
+	// its nodeRT slot, then decrementing arrivals. Only the node whose
+	// decrement reaches zero performs one send on wake; the engine blocks
+	// on wake once per round instead of draining n per-node signals from
+	// a shared channel.
+	arrivals atomic.Int64
+	wake     chan struct{}
+
+	// senderOut stages each sender's outbox for the round, written
+	// directly by the node goroutine at Tick time; a non-nil entry
+	// doubles as the "has staged messages" bit the route phase scans,
+	// replacing the old sorted sender-id list.
 	senderOut [][]routed
 
 	// Sharded delivery state — see deliver.go.
@@ -182,13 +193,6 @@ type Engine struct {
 	workCh   chan phaseKind
 	workDone chan struct{}
 	cursor   atomic.Int64
-}
-
-type signal struct {
-	id       int
-	finished bool
-	err      error
-	outbox   []routed
 }
 
 type routed struct {
@@ -211,10 +215,90 @@ type nodeRT struct {
 	live       int64 // words charged by the algorithm
 	peak       int64
 	ticks      int
-	finished   bool
-	outputs    []any
-	violation  bool // a Violation was already recorded for this node (dedup)
-	vioIdx     int  // index of this node's Violation in the run's slice
+	// done is the node's barrier-published termination bit: set by the
+	// node goroutine (with nodeErr) before its final arrival decrement,
+	// never cleared. Stable while the engine owns the round, so the
+	// route phase's drop check may read any node's done flag.
+	done    bool
+	nodeErr error
+	// finished is the engine-side acknowledgment of done, set by the
+	// owning shard's account phase. Only same-shard phase code reads it
+	// concurrently, keeping cross-shard reads on the immutable done bit.
+	finished  bool
+	outputs   []any
+	violation bool // a Violation was already recorded for this node (dedup)
+	vioIdx    int  // index of this node's Violation in the run's slice
+}
+
+// runScratch is the per-run state whose allocation and zeroing dominate
+// engine setup at large n: the node runtime slots (with their resume
+// channels and inbox buffers), the Ctx slots (with their outbox and
+// bandwidth-meter buffers), the staged-outbox table and the shard
+// scratch. It is recycled across runs — of any engine, experiment
+// sweeps run thousands back to back — through scratchPool. Everything
+// semantic is reset in grab/initShards; only buffer capacities, resume
+// channels and shard RNG sources survive, none of which is observable.
+// release scrubs every reference to run-owned data before the state is
+// pooled, so a pooled runScratch keeps nothing alive.
+type runScratch struct {
+	nodes     []nodeRT
+	ctxs      []Ctx
+	senderOut [][]routed
+	shards    []*shardState
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
+
+// grab checks a runScratch out of the pool and sizes it for n nodes,
+// resetting every reused slot to its run-start state.
+func grab(n int) *runScratch {
+	sc := scratchPool.Get().(*runScratch)
+	if cap(sc.nodes) < n {
+		sc.nodes = make([]nodeRT, n)
+		sc.ctxs = make([]Ctx, n)
+		sc.senderOut = make([][]routed, n)
+		return sc
+	}
+	sc.nodes = sc.nodes[:n]
+	sc.ctxs = sc.ctxs[:n]
+	sc.senderOut = sc.senderOut[:n]
+	for i := range sc.nodes {
+		rt := &sc.nodes[i]
+		rt.inbox = rt.inbox[:0]
+		rt.inboxWords = 0
+		rt.live = 0
+		rt.peak = 0
+		rt.ticks = 0
+		rt.done = false
+		rt.finished = false
+		rt.violation = false
+		rt.vioIdx = 0
+	}
+	return sc
+}
+
+// release scrubs the references the finished run left behind (outputs
+// now belong to the Result, topology views and errors to nobody) and
+// returns the scratch to the pool. Buffer capacities, resume channels
+// and shard state stay for the next run to reuse.
+func (sc *runScratch) release() {
+	for i := range sc.nodes {
+		rt := &sc.nodes[i]
+		rt.outputs = nil
+		rt.nodeErr = nil
+		c := &sc.ctxs[i]
+		c.eng, c.rt, c.at = nil, nil, nil
+		c.nbr, c.prt, c.rng = nil, nil, nil
+		// Reset the bandwidth meter with the slot: stale stamps must not
+		// alias a future run's stamp space once sentRound restarts (its
+		// wraparound bound is per run, not per pooled-slot lifetime).
+		clear(c.sent)
+		c.sentRound = 0
+	}
+	for _, st := range sc.shards {
+		st.err = nil
+	}
+	scratchPool.Put(sc)
 }
 
 // New creates an engine over topo. The zero μ (unset WithMu) means
@@ -248,8 +332,9 @@ func (e *Engine) N() int { return e.n }
 // node. Run returns an error if the round limit was hit, a node
 // panicked, or (in strict mode) μ was violated.
 func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
-	e.nodes = make([]*nodeRT, e.n)
-	e.done = make(chan signal, e.n)
+	sc := grab(e.n)
+	e.nodes = sc.nodes
+	e.wake = make(chan struct{}, 1)
 	e.round = 0
 	e.aborted = false
 	e.runErr = nil
@@ -257,44 +342,59 @@ func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
 	e.dropped = 0
 	var violations []Violation
 
-	e.initShards()
-	e.senderOut = make([][]routed, e.n)
-	for i := 0; i < e.n; i++ {
-		e.nodes[i] = &nodeRT{resume: make(chan []Incoming, 1)}
+	e.initShards(sc)
+	e.senderOut = sc.senderOut
+	for i := range e.nodes {
+		if e.nodes[i].resume == nil {
+			e.nodes[i].resume = make(chan []Incoming, 1)
+		}
+	}
+	// The barrier must be armed before any node can arrive at it.
+	e.arrivals.Store(int64(e.n))
+	// All node goroutines run one shared closure and claim their id from
+	// a counter: `go nodeMain()` on a pre-built func value allocates
+	// nothing per spawn, where `go runNode(ctx, program)` would heap-
+	// allocate a closure per node. Ids are claimed exactly once, so
+	// which OS-level goroutine serves which node is irrelevant.
+	var nextID atomic.Int64
+	ctxs := sc.ctxs
+	nodeMain := func() {
+		id := int(nextID.Add(1) - 1)
+		runNode(newCtx(e, ctxs, id), program)
 	}
 	for i := 0; i < e.n; i++ {
-		go runNode(newCtx(e, i), program)
+		go nodeMain()
 	}
 	e.startPool()
 	defer e.stopPool()
 
 	active := e.n
 	for active > 0 {
-		expect := active
-		// Node errors are only applied to aborted/runErr after the whole
-		// barrier is collected: until every active node has signaled,
-		// stragglers may still be reading e.aborted on their way out of
-		// the previous Tick.
+		// Wait for the barrier: the last arriving node performs the one
+		// wake. Every node's pre-arrival writes (its senderOut entry, its
+		// done/nodeErr slots, ticks, outputs, memory counters) happen
+		// before this receive via the arrival counter, so the phases may
+		// read them freely.
+		<-e.wake
+		// The route phase also performs the barrier bookkeeping the old
+		// serial collect loop did — poisoning retired inboxes, counting
+		// newly finished nodes and harvesting their errors per shard — so
+		// it parallelizes with routing.
+		e.runPhase(phaseRoute)
+		// Node errors are applied only after the whole barrier completed:
+		// e.aborted may not change while stragglers are still reading it
+		// on their way out of the previous Tick. Shards are drained in
+		// ascending order and each harvests in ascending node id, so the
+		// reported error is deterministically the lowest failing node's.
 		var nodeErr error
-		for j := 0; j < expect; j++ {
-			s := <-e.done
-			if debugPoison {
-				// The node just passed its Tick barrier (or finished), so
-				// by the Tick aliasing contract it may no longer read the
-				// inbox slice it was handed last round. Poison the retired
-				// buffer so contract violations read sentinels, not
-				// silently stale or clobbered messages.
-				poisonStale(e.nodes[s.id])
-			}
-			if len(s.outbox) > 0 {
-				e.senderOut[s.id] = s.outbox
-			}
-			if s.finished {
-				e.nodes[s.id].finished = true
-				active--
-				if s.err != nil && nodeErr == nil && !errors.Is(s.err, errAbort) {
-					nodeErr = s.err
+		for _, st := range e.shards {
+			active -= st.newlyFinished
+			st.newlyFinished = 0
+			if st.err != nil {
+				if nodeErr == nil {
+					nodeErr = st.err
 				}
+				st.err = nil
 			}
 		}
 		if nodeErr != nil {
@@ -313,10 +413,11 @@ func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
 				e.runErr = ErrMaxRounds
 			}
 		}
-		e.runPhase(phaseRoute)
 		if e.strict {
 			// Strict mode needs every shard's accounting before the abort
-			// decision, so delivery and resume are separate phases.
+			// decision, so delivery and resume are separate phases. The
+			// barrier is re-armed after the abort decision and before the
+			// first node is resumed.
 			e.runPhase(phaseAccount)
 			e.mergeRound(r, &violations)
 			if len(violations) > 0 {
@@ -325,10 +426,14 @@ func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
 					e.runErr = fmt.Errorf("%w: %v", ErrMemory, violations[0])
 				}
 			}
+			e.arrivals.Store(int64(active))
 			e.runPhase(phaseResume)
 		} else {
 			// Fused fast path: each shard resumes its own nodes as soon as
 			// their inboxes are ordered and accounted — no second barrier.
+			// Re-arm before the phase starts: resumed nodes may reach
+			// their next Tick while other shards are still accounting.
+			e.arrivals.Store(int64(active))
 			e.runPhase(phaseAccountResume)
 			e.mergeRound(r, &violations)
 		}
@@ -345,14 +450,28 @@ func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
 		PeakWords:  make([]int64, e.n),
 		Violations: violations,
 	}
-	for i, rt := range e.nodes {
+	for i := range e.nodes {
+		rt := &e.nodes[i]
 		res.Outputs[i] = rt.outputs
 		res.PeakWords[i] = rt.peak
 		if rt.ticks > res.Rounds {
 			res.Rounds = rt.ticks
 		}
 	}
+	// Every node has terminated (its final barrier arrival is its last
+	// touch of run state), so the scratch can go back to the pool.
+	sc.release()
+	e.nodes, e.senderOut, e.shards = nil, nil, nil
 	return res, e.runErr
+}
+
+// arrive is a node's barrier arrival: all of its round state is
+// published (plain writes sequenced before the decrement), and the last
+// arrival hands the round to the engine with a single channel send.
+func (e *Engine) arrive() {
+	if e.arrivals.Add(-1) == 0 {
+		e.wake <- struct{}{}
+	}
 }
 
 // mergeRound folds the per-shard μ overruns of one barrier into the
@@ -362,7 +481,7 @@ func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
 func (e *Engine) mergeRound(round int, violations *[]Violation) {
 	for _, st := range e.shards {
 		for _, o := range st.over {
-			rt := e.nodes[o.node]
+			rt := &e.nodes[o.node]
 			if rt.violation {
 				(*violations)[rt.vioIdx].OverRounds++
 			} else {
@@ -465,7 +584,17 @@ func runNode(ctx *Ctx, program func(*Ctx)) {
 				err = fmt.Errorf("sim: node %d panicked: %v", ctx.id, r)
 			}
 		}
-		ctx.eng.done <- signal{id: ctx.id, finished: true, err: err, outbox: ctx.takeOutbox()}
+		// Final barrier arrival: publish the termination bit, the error
+		// and any last staged sends, then decrement. A node arrives at
+		// every barrier it was resumed into exactly once — here or in
+		// Tick — so the engine's arrival count stays exact.
+		rt := ctx.rt
+		rt.nodeErr = err
+		rt.done = true
+		if out := ctx.takeOutbox(); len(out) > 0 {
+			ctx.eng.senderOut[ctx.id] = out
+		}
+		ctx.eng.arrive()
 	}()
 	program(ctx)
 }

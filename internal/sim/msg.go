@@ -5,12 +5,17 @@
 //
 // Each node runs its algorithm as an ordinary Go function on its own
 // goroutine; rounds are synchronized with a barrier hidden behind
-// Ctx.Tick. Between barriers all nodes compute in parallel, which both
-// matches the model (local computation is free) and exploits multicore
-// hardware. The engine's own per-round work — routing, inbox ordering,
-// memory accounting, resume — is sharded by destination ranges across a
-// worker pool (WithSimWorkers); results are bit-for-bit identical for
-// every worker count, so parallelism is purely a wall-clock knob.
+// Ctx.Tick. The barrier is zero-channel on the node side: each node
+// publishes its outbox and termination state into per-node slots and
+// decrements one atomic arrival counter — only the last arrival wakes
+// the engine, so barrier cost does not funnel n signals through a
+// shared channel. Between barriers all nodes compute in parallel, which
+// both matches the model (local computation is free) and exploits
+// multicore hardware. The engine's own per-round work — barrier
+// bookkeeping, routing, inbox ordering, memory accounting, resume — is
+// sharded by destination ranges across a worker pool (WithSimWorkers);
+// results are bit-for-bit identical for every worker count, so
+// parallelism is purely a wall-clock knob.
 //
 // Model mapping conventions (README.md, "Layout"):
 //   - A word is one int64. One Msg is one CONGEST message of O(log n)

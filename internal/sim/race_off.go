@@ -1,0 +1,8 @@
+//go:build !race
+
+package sim
+
+// raceEnabled reports whether the race detector is compiled in. Tests
+// that pin allocation counts skip under -race, where instrumentation
+// allocates.
+const raceEnabled = false

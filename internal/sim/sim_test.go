@@ -2,6 +2,7 @@ package sim
 
 import (
 	"errors"
+	"strings"
 	"testing"
 )
 
@@ -130,6 +131,22 @@ func TestEdgeCapOption(t *testing.T) {
 	}
 	if res.Outputs[1][0].(int) != 3 {
 		t.Fatalf("node 1 received %v messages, want 3", res.Outputs[1][0])
+	}
+}
+
+func TestNegativeEdgeCapFailsFast(t *testing.T) {
+	// A nonsensical negative cap must make the very first Send panic
+	// (as it did when the meter compared ints), not wrap into an
+	// effectively unlimited unsigned cap.
+	e := New(newPath(2), WithEdgeCap(-1))
+	_, err := e.Run(func(c *Ctx) {
+		if c.ID() == 0 {
+			c.Send(0, Msg{})
+		}
+		c.Tick()
+	})
+	if err == nil || !strings.Contains(err.Error(), "edge capacity") {
+		t.Fatalf("err = %v, want an edge-capacity panic on the first Send", err)
 	}
 }
 
@@ -349,6 +366,45 @@ func TestChargeOnlyViolationCounted(t *testing.T) {
 	}
 	if v.OverRounds != 4 {
 		t.Fatalf("OverRounds = %d, want 4 (one per quiet round over μ)", v.OverRounds)
+	}
+}
+
+func TestChargeRejectsNegativeWords(t *testing.T) {
+	// Regression: Charge(-n) used to silently drive the live-word meter
+	// negative, bypassing Release's underflow panic and corrupting peak
+	// and strict-μ accounting. It must panic (surfacing as a node error)
+	// before touching the meter.
+	e := New(newPath(2))
+	res, err := e.Run(func(c *Ctx) {
+		if c.ID() == 0 {
+			c.Charge(5)
+			c.Charge(-3)
+		}
+		c.Tick()
+	})
+	if err == nil || !strings.Contains(err.Error(), "negative words") {
+		t.Fatalf("err = %v, want a negative-words panic from Charge", err)
+	}
+	// The rejected charge must not have shrunk the meter: the node died
+	// at 5 live words.
+	if res.PeakWords[0] != 5 {
+		t.Fatalf("PeakWords[0] = %d, want 5 (negative charge rejected before mutating)", res.PeakWords[0])
+	}
+}
+
+func TestReleaseRejectsNegativeWords(t *testing.T) {
+	// Symmetric guard: Release(-n) would grow live words without the
+	// strict-μ check Charge performs.
+	e := New(newPath(2))
+	_, err := e.Run(func(c *Ctx) {
+		if c.ID() == 0 {
+			c.Charge(2)
+			c.Release(-1)
+		}
+		c.Tick()
+	})
+	if err == nil || !strings.Contains(err.Error(), "negative words") {
+		t.Fatalf("err = %v, want a negative-words panic from Release", err)
 	}
 }
 

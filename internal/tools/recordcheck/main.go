@@ -1,22 +1,31 @@
-// Command recordcheck validates a muexp JSON record document on stdin
-// against the documented mucongest.records/v1 schema: the schema stamp,
-// a consistent count, and every documented field present with a sane
-// value on every record. CI pipes `muexp -format json` through it so
-// the emitter contract cannot drift from EXPERIMENTS.md silently.
+// Command recordcheck validates a JSON document on stdin against its
+// declared schema, dispatching on the top-level "schema" stamp:
 //
-// It decodes generically (not through bench.Record) on purpose: a field
-// renamed in the struct but not in the docs must fail here.
+//   - mucongest.records/v1 — muexp experiment records: a consistent
+//     count and every documented field present with a sane value on
+//     every record. CI pipes `muexp -format json` through it so the
+//     emitter contract cannot drift from EXPERIMENTS.md silently.
+//   - mucongest.bench/v1 — benchjson performance baselines
+//     (BENCH_PR*.json): per-benchmark name, ns/op, B/op and allocs/op.
+//     CI validates the committed baseline so the perf trajectory stays
+//     machine-readable.
+//
+// It decodes generically (not through the Go structs) on purpose: a
+// field renamed in code but not in the docs must fail here.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 )
 
-// fields maps every documented record field to a checker.
-var fields = map[string]func(any) error{
+// recordFields maps every documented experiment-record field to a
+// checker.
+var recordFields = map[string]func(any) error{
 	"exp":          nonEmptyString,
 	"cell":         nonEmptyString,
 	"topo":         nonEmptyString,
@@ -79,41 +88,88 @@ func fail(format string, args ...any) {
 	os.Exit(1)
 }
 
-func main() {
-	var doc struct {
-		Schema  string           `json:"schema"`
-		Count   *int             `json:"count"`
-		Records []map[string]any `json:"records"`
+// benchFields maps every documented bench-baseline field to a checker.
+var benchFields = map[string]func(any) error{
+	"name":        nonEmptyString,
+	"nsPerOp":     positiveNumber,
+	"bytesPerOp":  nonNegativeNumber,
+	"allocsPerOp": nonNegativeNumber,
+}
+
+func positiveNumber(v any) error {
+	f, ok := v.(float64)
+	if !ok || f <= 0 {
+		return fmt.Errorf("want number > 0, got %#v", v)
 	}
-	dec := json.NewDecoder(os.Stdin)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&doc); err != nil {
-		fail("invalid JSON document: %v", err)
+	return nil
+}
+
+// checkRows validates one entry array: a consistent count and exactly
+// the documented fields, each with a sane value, on every row.
+func checkRows(kind string, rows []map[string]any, count *int, fields map[string]func(any) error) {
+	if count == nil || *count != len(rows) {
+		fail("count field inconsistent with %d %ss", len(rows), kind)
 	}
-	if doc.Schema != "mucongest.records/v1" {
-		fail("schema %q, want mucongest.records/v1", doc.Schema)
+	if len(rows) == 0 {
+		fail("no %ss: a run must produce at least one", kind)
 	}
-	if doc.Count == nil || *doc.Count != len(doc.Records) {
-		fail("count field inconsistent with %d records", len(doc.Records))
-	}
-	if len(doc.Records) == 0 {
-		fail("no records: a smoke run must produce at least one")
-	}
-	for i, r := range doc.Records {
+	for i, r := range rows {
 		if len(r) != len(fields) {
-			fail("record %d has %d fields, schema documents %d: %v", i, len(r), len(fields), keys(r))
+			fail("%s %d has %d fields, schema documents %d: %v", kind, i, len(r), len(fields), keys(r))
 		}
 		for name, check := range fields {
 			v, ok := r[name]
 			if !ok {
-				fail("record %d missing field %q", i, name)
+				fail("%s %d missing field %q", kind, i, name)
 			}
 			if err := check(v); err != nil {
-				fail("record %d field %q: %v", i, name, err)
+				fail("%s %d field %q: %v", kind, i, name, err)
 			}
 		}
 	}
-	fmt.Printf("recordcheck: %d records OK (%s)\n", len(doc.Records), doc.Schema)
+}
+
+func main() {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fail("reading stdin: %v", err)
+	}
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		fail("invalid JSON document: %v", err)
+	}
+	switch probe.Schema {
+	case "mucongest.records/v1":
+		var doc struct {
+			Schema  string           `json:"schema"`
+			Count   *int             `json:"count"`
+			Records []map[string]any `json:"records"`
+		}
+		decodeStrict(data, &doc)
+		checkRows("record", doc.Records, doc.Count, recordFields)
+		fmt.Printf("recordcheck: %d records OK (%s)\n", len(doc.Records), doc.Schema)
+	case "mucongest.bench/v1":
+		var doc struct {
+			Schema     string           `json:"schema"`
+			Count      *int             `json:"count"`
+			Benchmarks []map[string]any `json:"benchmarks"`
+		}
+		decodeStrict(data, &doc)
+		checkRows("benchmark", doc.Benchmarks, doc.Count, benchFields)
+		fmt.Printf("recordcheck: %d benchmarks OK (%s)\n", len(doc.Benchmarks), doc.Schema)
+	default:
+		fail("schema %q, want mucongest.records/v1 or mucongest.bench/v1", probe.Schema)
+	}
+}
+
+func decodeStrict(data []byte, doc any) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(doc); err != nil {
+		fail("invalid JSON document: %v", err)
+	}
 }
 
 func keys(m map[string]any) []string {
