@@ -2,12 +2,30 @@
 # targets exist for local use and for regenerating committed artifacts.
 
 BENCH_RECORD ?= BENCH_PR4.json
+FUZZTIME ?= 30s
 
-.PHONY: test bench bench-record
+.PHONY: test bench bench-record diff-harness cover
 
 test:
 	go build ./...
 	go test ./...
+
+# Differential verification: the seeded randomized scenario corpus
+# (reference engine vs sharded engine, workers 1 and 4), then a native
+# fuzz pass over fresh generator seeds. Every engine rewrite must pass
+# this before it lands. Tune the fuzz budget with FUZZTIME=… .
+diff-harness:
+	go test ./internal/harness -run TestDifferentialEngineRandomized -count=1 -v
+	go test ./internal/harness -run '^$$' -fuzz FuzzEngineDifferential -fuzztime $(FUZZTIME)
+
+# Coverage over every package: the profile lands in cover.out (for
+# `go tool cover -html`), the per-function breakdown in
+# coverage-summary.txt, and the total line on stdout. CI runs this
+# target and uploads both files as an artifact.
+cover:
+	go test -coverprofile=cover.out -coverpkg=./... ./...
+	go tool cover -func=cover.out > coverage-summary.txt
+	tail -n 1 coverage-summary.txt
 
 # The engine micro-benchmark cells, full precision.
 bench:

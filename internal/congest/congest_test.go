@@ -262,3 +262,80 @@ func TestRelabelRoundsLinearInDepthPlusLog(t *testing.T) {
 		t.Fatalf("relabel used %d rounds; pipelining regressed", res.Rounds)
 	}
 }
+
+// TestBFSTreeSingleNode pins the degenerate tree: a one-node graph with
+// maxDepth 0 must produce a root-only tree without panicking — the
+// join/ack alternation has no edges to use, but the subroutine must
+// still run its fixed round schedule and terminate.
+func TestBFSTreeSingleNode(t *testing.T) {
+	g := graph.New(1)
+	res := runAll(t, g, func(c *sim.Ctx) {
+		tr := BuildBFSTree(c, 0, 0)
+		c.Emit(tr)
+	})
+	tr := res.Outputs[0][0].(*Tree)
+	if !tr.Joined() || tr.Root != 0 || tr.Parent != -1 || tr.Depth != 0 || len(tr.Children) != 0 {
+		t.Fatalf("single-node tree malformed: %+v", tr)
+	}
+	if res.Messages != 0 {
+		t.Fatalf("single-node tree sent %d messages", res.Messages)
+	}
+}
+
+// TestRelabelSingleNodeIdentity pins the degenerate relabeling: on a
+// one-node graph the pipeline (convergecast, broadcast, doubly
+// pipelined assignment) collapses to the root acting alone, and the
+// result must be the identity: new id 0 in class 0 with a one-entry
+// histogram.
+func TestRelabelSingleNodeIdentity(t *testing.T) {
+	g := graph.New(1)
+	res := runAll(t, g, func(c *sim.Ctx) {
+		tr := BuildBFSTree(c, 0, 0)
+		c.Emit(DegreeClassRelabel(c, tr, 0, c.Degree()))
+	})
+	rl := res.Outputs[0][0].(*Relabeling)
+	if rl.NewID != 0 {
+		t.Fatalf("single node relabeled to %d, want identity 0", rl.NewID)
+	}
+	if got, want := rl.ClassOfNewID(0), DegreeClass(0); got != want {
+		t.Fatalf("class of new id 0 = %d, want %d", got, want)
+	}
+	var total int64
+	for _, h := range rl.Hist {
+		total += h
+	}
+	if total != 1 {
+		t.Fatalf("histogram sums to %d over %v, want 1", total, rl.Hist)
+	}
+}
+
+// TestRelabelUniformDegreePermutation pins the uniform-degree case: on
+// a cycle every node shares degree class 1 (⌊log₂ 2⌋), so the
+// relabeling must be a plain permutation of 0..n-1 inside one class —
+// the closest a multi-node relabel comes to an identity.
+func TestRelabelUniformDegreePermutation(t *testing.T) {
+	const n = 10
+	g := graph.Cycle(n)
+	maxDepth := n
+	res := runAll(t, g, func(c *sim.Ctx) {
+		tr := BuildBFSTree(c, 0, maxDepth)
+		c.Emit(DegreeClassRelabel(c, tr, maxDepth, c.Degree()))
+	})
+	ids := make([]int, 0, n)
+	for v := 0; v < n; v++ {
+		rl := res.Outputs[v][0].(*Relabeling)
+		if got := rl.ClassOfNewID(rl.NewID); got != 1 {
+			t.Fatalf("node %d (degree 2) classed %d, want 1", v, got)
+		}
+		if rl.Hist[1] != n {
+			t.Fatalf("node %d histogram %v, want all %d nodes in class 1", v, rl.Hist, n)
+		}
+		ids = append(ids, int(rl.NewID))
+	}
+	sort.Ints(ids)
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("new ids not a permutation of 0..%d: %v", n-1, ids)
+		}
+	}
+}

@@ -152,3 +152,62 @@ func TestEmbeddingWordsFormula(t *testing.T) {
 		t.Fatal("α must shrink the embedding")
 	}
 }
+
+// TestMixingTimeDegenerateGraphs pins the walk on the smallest inputs:
+// a single node mixes instantly, and the 2-node path — the smallest
+// graph with an actual walk — must converge in a handful of lazy steps
+// without dividing by zero or overrunning maxT.
+func TestMixingTimeDegenerateGraphs(t *testing.T) {
+	if got := MixingTime(graph.New(1), 100); got != 0 {
+		t.Fatalf("single node τmix = %d, want 0", got)
+	}
+	two := graph.Path(2)
+	got := MixingTime(two, 100)
+	if got < 1 || got > 16 {
+		t.Fatalf("2-node path τmix = %d, want a small positive count", got)
+	}
+	// The lazy walk is aperiodic even on bipartite graphs: the bound
+	// must hold with room to spare on a 2-cycle-like instance.
+	if capped := MixingTime(two, got); capped != got {
+		t.Fatalf("τmix changed under exact cap: %d vs %d", capped, got)
+	}
+}
+
+// TestConductanceTwoNodes pins the 2-node cut: the single bridge edge
+// against volume 1 on each side gives Φ = 1, and the empty/full splits
+// give 0.
+func TestConductanceTwoNodes(t *testing.T) {
+	two := graph.Path(2)
+	if phi := Conductance(two, func(v int) bool { return v == 0 }); phi != 1 {
+		t.Fatalf("2-node half-cut Φ = %v, want 1", phi)
+	}
+	if phi := Conductance(two, func(v int) bool { return false }); phi != 0 {
+		t.Fatalf("empty-set Φ = %v, want 0", phi)
+	}
+	if phi := Conductance(two, func(v int) bool { return true }); phi != 0 {
+		t.Fatalf("full-set Φ = %v, want 0", phi)
+	}
+}
+
+// TestMPXTwoNodes runs the clustering protocol on the smallest
+// connected graph: both nodes must land in one cluster centered at one
+// of them (singleton clusters would leave the bridge cut, which MPX
+// only does with probability β per endpoint).
+func TestMPXTwoNodes(t *testing.T) {
+	g := graph.Path(2)
+	clusters, res, err := RunMPX(g, func(int) bool { return true }, 0.01, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds <= 0 {
+		t.Fatal("no rounds")
+	}
+	for v, cl := range clusters {
+		if cl < 0 {
+			t.Fatalf("node %d unclustered", v)
+		}
+		if clusters[cl] != cl {
+			t.Fatalf("center %d of node %d not in own cluster", cl, v)
+		}
+	}
+}

@@ -1,0 +1,187 @@
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mucongest/internal/sim"
+	"mucongest/internal/sim/refsim"
+	"mucongest/internal/topo"
+)
+
+// BuildTopology materializes the scenario's communication graph through
+// the topo registry — or, for implicit scenarios, as the engine-native
+// sim.NewComplete, whose neighbor lists are identical to the explicit
+// K_n but answer through the DegreeTopology / IndexedTopology /
+// PortedTopology fast paths the registry graph does not implement.
+func BuildTopology(sc Scenario) (sim.Topology, error) {
+	spec, err := topo.Parse(sc.TopoSpec)
+	if err != nil {
+		return nil, err
+	}
+	if sc.Implicit {
+		if spec.Family != "complete" {
+			return nil, fmt.Errorf("harness: implicit topology drawn for family %q, only complete is implicit", spec.Family)
+		}
+		v, err := spec.Values()
+		if err != nil {
+			return nil, err
+		}
+		n := v.Int("n")
+		if err := v.Err(); err != nil {
+			return nil, err
+		}
+		if n != sc.N {
+			return nil, fmt.Errorf("harness: %q names %d nodes, scenario recorded %d", sc.TopoSpec, n, sc.N)
+		}
+		return sim.NewComplete(n), nil
+	}
+	g, err := spec.Build(rand.New(rand.NewSource(sc.TopoSeed)))
+	if err != nil {
+		return nil, err
+	}
+	if g.N() != sc.N {
+		return nil, fmt.Errorf("harness: %q built %d nodes, scenario recorded %d", sc.TopoSpec, g.N(), sc.N)
+	}
+	return g, nil
+}
+
+// Outcome summarizes what a checked scenario's (agreed-upon) execution
+// did, for corpus coverage accounting.
+type Outcome struct {
+	Aborted    bool
+	Violations int
+}
+
+// CheckScenario runs sc on the reference engine and on the production
+// engine at every given worker count, and returns a descriptive error
+// on the first divergence: run error identity (down to the string),
+// round/message/drop totals, per-node outputs (the behaviors emit one
+// order-sensitive inbox fold per round, so this is a round-by-round
+// digest), per-node PeakWords, and the full violation list. It then
+// checks the metamorphic invariants the reference run's ledger implies.
+func CheckScenario(sc Scenario, workers ...int) (Outcome, error) {
+	g, err := BuildTopology(sc)
+	if err != nil {
+		return Outcome{}, err
+	}
+	mk, ok := Behaviors[sc.Behavior]
+	if !ok {
+		return Outcome{}, fmt.Errorf("harness: unknown behavior %q", sc.Behavior)
+	}
+	program := mk(sc)
+
+	ref := refsim.New(g, refsim.Config{
+		Mu:      sc.Mu,
+		Seed:    sc.Seed,
+		EdgeCap: sc.EdgeCap,
+		Order:   sc.Order,
+		Strict:  sc.Strict,
+	})
+	refRes, refErr := ref.Run(program)
+	out := Outcome{Aborted: refErr != nil, Violations: len(refRes.Violations)}
+
+	for _, w := range workers {
+		opts := []sim.Option{
+			sim.WithMu(sc.Mu), sim.WithSeed(sc.Seed), sim.WithEdgeCap(sc.EdgeCap),
+			sim.WithInboxOrder(sc.Order), sim.WithSimWorkers(w),
+		}
+		if sc.Strict {
+			opts = append(opts, sim.WithStrictMemory())
+		}
+		res, runErr := sim.New(g, opts...).Run(func(c *sim.Ctx) { program(c) })
+		if err := compareErrors(refErr, runErr); err != nil {
+			return out, fmt.Errorf("workers=%d: %w", w, err)
+		}
+		if err := compareResults(refRes, res); err != nil {
+			return out, fmt.Errorf("workers=%d: %w", w, err)
+		}
+	}
+	return out, checkInvariants(sc, refRes, ref.Stats())
+}
+
+func compareErrors(ref, got error) error {
+	switch {
+	case ref == nil && got == nil:
+		return nil
+	case ref == nil:
+		return fmt.Errorf("engine aborted (%v) but reference completed", got)
+	case got == nil:
+		return fmt.Errorf("reference aborted (%v) but engine completed", ref)
+	case ref.Error() != got.Error():
+		return fmt.Errorf("abort identity differs:\n  reference: %v\n  engine:    %v", ref, got)
+	}
+	return nil
+}
+
+func compareResults(ref, got *sim.Result) error {
+	if ref.Rounds != got.Rounds {
+		return fmt.Errorf("rounds: reference %d, engine %d", ref.Rounds, got.Rounds)
+	}
+	if ref.Messages != got.Messages {
+		return fmt.Errorf("messages: reference %d, engine %d", ref.Messages, got.Messages)
+	}
+	if ref.Dropped != got.Dropped {
+		return fmt.Errorf("dropped: reference %d, engine %d", ref.Dropped, got.Dropped)
+	}
+	if len(ref.Outputs) != len(got.Outputs) {
+		return fmt.Errorf("node count: reference %d, engine %d", len(ref.Outputs), len(got.Outputs))
+	}
+	for v := range ref.Outputs {
+		if a, b := fmt.Sprint(ref.Outputs[v]), fmt.Sprint(got.Outputs[v]); a != b {
+			return fmt.Errorf("node %d outputs (round-by-round digests):\n  reference: %s\n  engine:    %s", v, a, b)
+		}
+		if ref.PeakWords[v] != got.PeakWords[v] {
+			return fmt.Errorf("node %d peak words: reference %d, engine %d", v, ref.PeakWords[v], got.PeakWords[v])
+		}
+	}
+	if len(ref.Violations) != len(got.Violations) {
+		return fmt.Errorf("violation count: reference %d (%v), engine %d (%v)",
+			len(ref.Violations), ref.Violations, len(got.Violations), got.Violations)
+	}
+	for i := range ref.Violations {
+		if ref.Violations[i] != got.Violations[i] {
+			return fmt.Errorf("violation %d: reference %+v, engine %+v", i, ref.Violations[i], got.Violations[i])
+		}
+	}
+	return nil
+}
+
+// checkInvariants verifies the metamorphic properties the reference
+// run's ledger implies — true for any correct engine regardless of the
+// scenario drawn.
+func checkInvariants(sc Scenario, res *sim.Result, st *refsim.Stats) error {
+	var delivered, dropped int64
+	for r, rs := range st.PerRound {
+		if rs.Sent != rs.Delivered+rs.Dropped {
+			return fmt.Errorf("round %d conservation: sent %d != delivered %d + dropped %d",
+				r, rs.Sent, rs.Delivered, rs.Dropped)
+		}
+		delivered += rs.Delivered
+		dropped += rs.Dropped
+	}
+	if delivered != res.Messages || dropped != res.Dropped {
+		return fmt.Errorf("ledger totals (%d delivered, %d dropped) != result (%d, %d)",
+			delivered, dropped, res.Messages, res.Dropped)
+	}
+	for v, w := range st.MaxInboxWords {
+		if res.PeakWords[v] < w {
+			return fmt.Errorf("node %d: peak %d below largest delivered inbox %d words", v, res.PeakWords[v], w)
+		}
+	}
+	if sc.Mu <= 0 && len(res.Violations) != 0 {
+		return fmt.Errorf("unbounded run recorded violations: %v", res.Violations)
+	}
+	for _, vio := range res.Violations {
+		if vio.Words <= sc.Mu {
+			return fmt.Errorf("violation %+v does not exceed μ=%d", vio, sc.Mu)
+		}
+		if res.PeakWords[vio.Node] < vio.Words {
+			return fmt.Errorf("violation %+v exceeds node peak %d", vio, res.PeakWords[vio.Node])
+		}
+		if vio.OverRounds < 1 || vio.Round < 0 || vio.Round >= res.Rounds+1 {
+			return fmt.Errorf("violation %+v out of range (rounds=%d)", vio, res.Rounds)
+		}
+	}
+	return nil
+}

@@ -7,7 +7,7 @@ import (
 
 // Sharded delivery: the engine's per-round work — routing staged
 // outboxes into inboxes, applying the inbox order, memory accounting and
-// the resume fan-out — is partitioned into shards of shardSpan
+// the resume fan-out — is partitioned into shards of ShardSpan
 // consecutive node ids. Per-destination routing and inbox ordering are
 // independent across destinations, so shards never contend; a persistent
 // worker pool (see Engine.startPool) executes the shards of each phase
@@ -15,13 +15,13 @@ import (
 //
 // Determinism for every worker count rests on two invariants:
 //
-//  1. The shard layout is a pure function of n (fixed shardSpan), never
+//  1. The shard layout is a pure function of n (fixed ShardSpan), never
 //     of the worker count. Workers pull whole shards, so any schedule
 //     computes the same per-shard results.
 //  2. OrderRandom draws from a per-shard RNG stream derived only from
 //     the engine seed and the shard index, consumed in ascending node
 //     id within the shard. Shard 0's stream is seeded exactly like the
-//     pre-sharding engine RNG, so single-shard runs (n ≤ shardSpan,
+//     pre-sharding engine RNG, so single-shard runs (n ≤ ShardSpan,
 //     i.e. every run the old golden digests were recorded on) reproduce
 //     the historical draw sequence bit for bit.
 //
@@ -33,10 +33,16 @@ import (
 // sender-shard order, which concatenates back to the global ascending
 // sender order per destination.
 
-// shardSpan is the number of consecutive node ids per delivery shard.
+// ShardSpan is the number of consecutive node ids per delivery shard.
 // It must stay fixed: shard boundaries feed the per-shard RNG streams,
-// so changing it re-keys every OrderRandom run with n > shardSpan.
-const shardSpan = 512
+// so changing it re-keys every OrderRandom run with n > ShardSpan.
+//
+// ShardSpan and ShardStreamSeed are exported as part of the engine's
+// determinism contract: OrderRandom shuffles node v's inbox with the
+// stream of shard v/ShardSpan, consumed once per non-empty inbox in
+// ascending node id. The refsim reference engine reproduces the
+// engine's draws from these two values alone.
+const ShardSpan = 512
 
 // phaseKind selects the work a delivery phase performs on each shard.
 type phaseKind uint8
@@ -90,12 +96,13 @@ type overrun struct {
 	words int64
 }
 
-// shardSeed derives shard s's RNG seed. Shard 0 keeps the raw engine
-// seed — the pre-sharding engine drew OrderRandom permutations from
-// rand.NewSource(seed), and single-shard runs must keep reproducing the
-// golden digests recorded then. Higher shards get splitmix64-finalized
-// streams.
-func shardSeed(seed int64, s int) int64 {
+// ShardStreamSeed derives shard s's RNG seed. Shard 0 keeps the raw
+// engine seed — the pre-sharding engine drew OrderRandom permutations
+// from rand.NewSource(seed), and single-shard runs must keep
+// reproducing the golden digests recorded then. Higher shards get
+// splitmix64-finalized streams. Exported as part of the determinism
+// contract (see ShardSpan).
+func ShardStreamSeed(seed int64, s int) int64 {
 	if s == 0 {
 		return seed
 	}
@@ -113,7 +120,7 @@ func shardSeed(seed int64, s int) int64 {
 // source (re-seeded below, so the draw stream is exactly that of a
 // fresh run), and counters reset.
 func (e *Engine) initShards(sc *runScratch) {
-	e.nshards = (e.n + shardSpan - 1) / shardSpan
+	e.nshards = (e.n + ShardSpan - 1) / ShardSpan
 	if e.nshards < 1 {
 		e.nshards = 1
 	}
@@ -123,9 +130,9 @@ func (e *Engine) initShards(sc *runScratch) {
 	e.shards = sc.shards[:e.nshards]
 	for s, st := range e.shards {
 		if st.rng == nil {
-			st.rng = rand.New(rand.NewSource(shardSeed(e.seed, s)))
+			st.rng = rand.New(rand.NewSource(ShardStreamSeed(e.seed, s)))
 		} else {
-			st.rng.Seed(shardSeed(e.seed, s))
+			st.rng.Seed(ShardStreamSeed(e.seed, s))
 		}
 		if cap(st.xfer) < e.nshards {
 			st.xfer = make([][]routed, e.nshards)
@@ -145,8 +152,8 @@ func (e *Engine) initShards(sc *runScratch) {
 
 // shardPhase runs one phase on one shard.
 func (e *Engine) shardPhase(k phaseKind, s int) {
-	lo := s * shardSpan
-	hi := lo + shardSpan
+	lo := s * ShardSpan
+	hi := lo + ShardSpan
 	if hi > e.n {
 		hi = e.n
 	}
@@ -216,7 +223,7 @@ func (e *Engine) routeShard(st *shardState, lo, hi int) {
 				st.dropped++
 				continue
 			}
-			t := m.to / shardSpan
+			t := m.to / ShardSpan
 			st.xfer[t] = append(st.xfer[t], m)
 		}
 	}

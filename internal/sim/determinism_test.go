@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"hash/fnv"
+	"math/rand"
 	"runtime"
 	"strings"
 	"testing"
@@ -100,7 +101,7 @@ func TestDeterminismRegression(t *testing.T) {
 
 // TestShardedDeterminismAcrossWorkers pins the tentpole invariant of the
 // sharded delivery path on a topology spanning multiple shards
-// (n = 1536 > shardSpan, i.e. 3 shards): for every InboxOrder the digest
+// (n = 1536 > ShardSpan, i.e. 3 shards): for every InboxOrder the digest
 // is a golden constant, bit-for-bit identical for every worker count —
 // including OrderRandom, whose permutations draw from per-shard RNG
 // streams derived only from the engine seed and the shard layout.
@@ -111,8 +112,8 @@ func TestDeterminismRegression(t *testing.T) {
 // the fused fast path are observably identical under the zero-channel
 // barrier.
 func TestShardedDeterminismAcrossWorkers(t *testing.T) {
-	if n := 3 * shardSpan; n != 1536 {
-		t.Fatalf("shardSpan changed (%d); re-deriving the golden digests below is required", shardSpan)
+	if n := 3 * ShardSpan; n != 1536 {
+		t.Fatalf("ShardSpan changed (%d); re-deriving the golden digests below is required", ShardSpan)
 	}
 	topo := graph.Cycle(1536)
 	golden := map[InboxOrder]uint64{
@@ -189,6 +190,35 @@ func TestNodeErrorAbortDeterministicAcrossWorkers(t *testing.T) {
 		}
 		if err.Error() != wantErr {
 			t.Errorf("workers %d: err = %q, want %q", w, err.Error(), wantErr)
+		}
+	}
+}
+
+// TestShardedDeterminismPowerlaw extends the golden digest pinning to a
+// skewed-degree topology: a 3-shard Barabási–Albert graph, whose hubs
+// concentrate routing into a few destinations (the opposite load shape
+// of the uniform cycle above). For every InboxOrder the digest is a
+// golden constant, bit-for-bit identical for every worker count.
+func TestShardedDeterminismPowerlaw(t *testing.T) {
+	if ShardSpan != 512 {
+		t.Fatalf("ShardSpan changed (%d); re-deriving the golden digests below is required", ShardSpan)
+	}
+	topo := graph.BarabasiAlbert(1536, 3, rand.New(rand.NewSource(13)))
+	golden := map[InboxOrder]uint64{
+		OrderBySender: 0xc407122fa3770141,
+		OrderRandom:   0x8466b52c996b7f7b,
+		OrderReversed: 0x34a9fe10e8b1bd5e,
+	}
+	for order, want := range golden {
+		for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
+			e := New(topo, WithSeed(7), WithInboxOrder(order), WithSimWorkers(w))
+			res, err := e.Run(detProgram)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := digestResult(res); got != want {
+				t.Errorf("order %v, workers %d: digest = %#x, want golden %#x", order, w, got, want)
+			}
 		}
 	}
 }

@@ -1,0 +1,366 @@
+// Package refsim is the differential-verification oracle for the
+// μ-CONGEST engine: a deliberately simple reference implementation of
+// the exact observable contract of package sim — same Topology
+// interface, same NodeCtx method set, same μ-accounting (including the
+// strict-mode abort timing), same inbox orders and per-shard RNG
+// stream derivation, same error strings — built for obviousness, not
+// speed.
+//
+// Everything the production engine does cleverly, refsim does naively:
+//
+//   - No sharding, no worker pool, no buffer pooling, no stamp-packed
+//     meters. Plain maps and freshly allocated slices everywhere.
+//   - One logical thread of control. Node programs need goroutines to
+//     block inside Tick, but the engine steps them strictly one at a
+//     time (resume node, wait for it to yield), so at any instant at
+//     most one goroutine runs. Execution is sequential and
+//     deterministic by construction.
+//
+// Because refsim reproduces the engine's externally visible behavior
+// bit for bit — round counts, message/drop totals, per-node outputs
+// and memory peaks, violation records, abort identity including error
+// strings, and every OrderRandom permutation — any randomized scenario
+// can be executed on both engines and compared field by field. The
+// internal/harness package does exactly that. A future engine rewrite
+// is correct when it still matches refsim everywhere; refsim itself is
+// pinned against the golden digests recorded on the original
+// pre-sharding engine.
+package refsim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"mucongest/internal/sim"
+)
+
+// NodeCtx is the node-side contract shared by the production engine
+// and the reference engine: the full method set node programs may use.
+// *sim.Ctx and *refsim.Ctx both satisfy it, so one program (written as
+// func(NodeCtx)) can run on either engine — the basis of differential
+// testing.
+type NodeCtx interface {
+	// Identity and topology view.
+	ID() int
+	N() int
+	Mu() int64
+	Degree() int
+	Neighbors() []int
+	Neighbor(port int) int
+	PortOf(id int) int
+	// Private deterministic RNG (stream keyed by engine seed and id).
+	Rand() *rand.Rand
+	Round() int
+	// Messaging.
+	Send(port int, m sim.Msg)
+	SendID(id int, m sim.Msg)
+	Broadcast(m sim.Msg)
+	Tick() []sim.Incoming
+	Idle(k int)
+	// Output and memory meter.
+	Emit(v any)
+	Charge(words int64)
+	Release(words int64)
+	Live() int64
+}
+
+// Both engines implement the contract. sim.Ctx's assertion lives here
+// rather than in package sim so sim keeps zero knowledge of refsim.
+var (
+	_ NodeCtx = (*sim.Ctx)(nil)
+	_ NodeCtx = (*Ctx)(nil)
+)
+
+// Config mirrors package sim's options as one plain struct. The zero
+// value means the same thing as a sim.New call with no options: seed 1,
+// edge capacity 1, unbounded memory, OrderBySender, lenient μ, round
+// limit 2,000,000.
+type Config struct {
+	Mu        int64
+	Seed      int64 // 0 selects the engine default seed 1
+	EdgeCap   int   // 0 selects the default capacity 1
+	Order     sim.InboxOrder
+	Strict    bool
+	MaxRounds int // 0 selects the default limit 2,000,000
+}
+
+// RoundStats is the reference engine's per-round message ledger,
+// recorded at each barrier: how many words were staged by senders, how
+// many reached an inbox and how many were dropped because the
+// destination had terminated. Sent == Delivered + Dropped holds for
+// every round by conservation.
+type RoundStats struct {
+	Sent      int64
+	Delivered int64
+	Dropped   int64
+}
+
+// Stats is the side-channel record a reference run produces on top of
+// the sim.Result, feeding the harness's metamorphic invariants.
+type Stats struct {
+	PerRound []RoundStats
+	// MaxInboxWords is, per node, the largest inbox (in words) the node
+	// was ever handed. PeakWords can never be below it.
+	MaxInboxWords []int64
+}
+
+// Engine is the reference engine. Create with New, run once with Run.
+type Engine struct {
+	topo    sim.Topology
+	cfg     Config
+	n       int
+	nodes   []nodeState
+	rngs    []*rand.Rand // one OrderRandom stream per ShardSpan id range
+	step    chan struct{}
+	aborted bool
+	runErr  error
+
+	messages int64
+	dropped  int64
+	stats    Stats
+}
+
+type nodeState struct {
+	resume chan struct{}
+	// staged is the outbox the node handed over at its last yield
+	// (Tick or termination), in send order.
+	staged []staged
+	// inbox accumulates this barrier's deliveries; handed to the node at
+	// resume as a fresh slice (no reuse, no aliasing contract needed).
+	inbox      []sim.Incoming
+	inboxWords int64
+	live       int64
+	peak       int64
+	ticks      int
+	done       bool
+	err        error
+	finished   bool
+	outputs    []any
+	violation  bool
+	vioIdx     int
+}
+
+type staged struct {
+	to  int
+	msg sim.Msg
+}
+
+// errAbort is the engine→node unwind sentinel, mirroring sim's.
+var errAbort = errors.New("refsim: run aborted")
+
+// New creates a reference engine over topo.
+func New(topo sim.Topology, cfg Config) *Engine {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.EdgeCap == 0 {
+		cfg.EdgeCap = 1
+	}
+	if cfg.MaxRounds == 0 {
+		cfg.MaxRounds = 2_000_000
+	}
+	return &Engine{topo: topo, cfg: cfg, n: topo.N()}
+}
+
+// Stats returns the ledger of the completed run. Valid after Run.
+func (e *Engine) Stats() *Stats { return &e.stats }
+
+// Run executes program on every node and returns the aggregated
+// result, shaped exactly like the production engine's: same Result
+// fields, same Violation records, same error values and strings.
+func (e *Engine) Run(program func(NodeCtx)) (*sim.Result, error) {
+	n := e.n
+	e.nodes = make([]nodeState, n)
+	e.step = make(chan struct{})
+	// Like the production engine, an Engine is reusable: every piece of
+	// run state is reset here, nothing carries over.
+	e.aborted = false
+	e.runErr = nil
+	e.messages = 0
+	e.dropped = 0
+	e.stats = Stats{MaxInboxWords: make([]int64, n)}
+	nshards := (n + sim.ShardSpan - 1) / sim.ShardSpan
+	if nshards < 1 {
+		nshards = 1
+	}
+	e.rngs = make([]*rand.Rand, nshards)
+	for s := range e.rngs {
+		e.rngs[s] = rand.New(rand.NewSource(sim.ShardStreamSeed(e.cfg.Seed, s)))
+	}
+
+	// Start the nodes one at a time: each runs until its first Tick (or
+	// termination) before the next is spawned, keeping execution
+	// sequential from the very first instruction.
+	for id := 0; id < n; id++ {
+		e.nodes[id].resume = make(chan struct{})
+		go e.runNode(newCtx(e, id), program)
+		<-e.step
+	}
+
+	active := n
+	round := 0
+	var violations []sim.Violation
+	for active > 0 {
+		// Barrier: every live node has yielded (staged its outbox, and —
+		// if it terminated — published done and its error).
+
+		// 1. Collect newly terminated nodes; the reported error is
+		// deterministically the lowest failing node's, skipping the
+		// engine's own abort sentinel.
+		var nodeErr error
+		for id := range e.nodes {
+			nd := &e.nodes[id]
+			if nd.done && !nd.finished {
+				active--
+				if nd.err != nil {
+					if nodeErr == nil && !errors.Is(nd.err, errAbort) {
+						nodeErr = nd.err
+					}
+					nd.err = nil
+				}
+			}
+		}
+		if nodeErr != nil {
+			e.aborted = true
+			if e.runErr == nil {
+				e.runErr = nodeErr
+			}
+		}
+		// 2. Violations recorded at this barrier carry the pre-increment
+		// round counter; the runaway guard fires after the increment.
+		r := round
+		round++
+		if round > e.cfg.MaxRounds && active > 0 {
+			e.aborted = true
+			if e.runErr == nil {
+				e.runErr = sim.ErrMaxRounds
+			}
+		}
+		// 3. Route: ascending sender id, send order within a sender.
+		// Messages to terminated nodes are dropped.
+		var rs RoundStats
+		for id := range e.nodes {
+			nd := &e.nodes[id]
+			out := nd.staged
+			nd.staged = nil
+			rs.Sent += int64(len(out))
+			for _, m := range out {
+				if e.nodes[m.to].done {
+					rs.Dropped++
+					continue
+				}
+				dst := &e.nodes[m.to]
+				dst.inbox = append(dst.inbox, sim.Incoming{From: id, Msg: m.msg})
+				rs.Delivered++
+			}
+		}
+		e.messages += rs.Delivered
+		e.dropped += rs.Dropped
+		e.stats.PerRound = append(e.stats.PerRound, rs)
+		// 4. Account every live node in ascending id: order the inbox
+		// (OrderRandom consumes the node's shard stream once per
+		// non-empty inbox), charge the delivered words, update the peak,
+		// and record μ overruns — including charge-only and quiet rounds.
+		for id := range e.nodes {
+			nd := &e.nodes[id]
+			if nd.finished {
+				continue
+			}
+			if nd.done {
+				// Terminated at this barrier: acknowledge and skip —
+				// no ordering, metering or resume.
+				nd.finished = true
+				continue
+			}
+			if len(nd.inbox) > 0 {
+				switch e.cfg.Order {
+				case sim.OrderRandom:
+					rng := e.rngs[id/sim.ShardSpan]
+					rng.Shuffle(len(nd.inbox), func(i, j int) {
+						nd.inbox[i], nd.inbox[j] = nd.inbox[j], nd.inbox[i]
+					})
+				case sim.OrderReversed:
+					for i, j := 0, len(nd.inbox)-1; i < j; i, j = i+1, j-1 {
+						nd.inbox[i], nd.inbox[j] = nd.inbox[j], nd.inbox[i]
+					}
+				}
+			}
+			nd.inboxWords = int64(len(nd.inbox)) * sim.MsgWords
+			if nd.inboxWords > e.stats.MaxInboxWords[id] {
+				e.stats.MaxInboxWords[id] = nd.inboxWords
+			}
+			total := nd.live + nd.inboxWords
+			if total > nd.peak {
+				nd.peak = total
+			}
+			if e.cfg.Mu > 0 && total > e.cfg.Mu {
+				if nd.violation {
+					violations[nd.vioIdx].OverRounds++
+				} else {
+					nd.violation = true
+					nd.vioIdx = len(violations)
+					violations = append(violations,
+						sim.Violation{Node: id, Round: r, Words: total, OverRounds: 1})
+				}
+			}
+		}
+		// 5. Strict mode aborts on the first recorded violation, after
+		// every node's accounting but before any node is resumed.
+		if e.cfg.Strict && len(violations) > 0 {
+			e.aborted = true
+			if e.runErr == nil {
+				e.runErr = fmt.Errorf("%w: %v", sim.ErrMemory, violations[0])
+			}
+		}
+		// 6. Resume the live nodes one at a time, waiting for each to
+		// yield again before touching the next.
+		for id := range e.nodes {
+			nd := &e.nodes[id]
+			if nd.finished {
+				continue
+			}
+			nd.resume <- struct{}{}
+			<-e.step
+		}
+	}
+
+	res := &sim.Result{
+		Messages:   e.messages,
+		Dropped:    e.dropped,
+		Outputs:    make([][]any, n),
+		PeakWords:  make([]int64, n),
+		Violations: violations,
+	}
+	for id := range e.nodes {
+		nd := &e.nodes[id]
+		res.Outputs[id] = nd.outputs
+		res.PeakWords[id] = nd.peak
+		if nd.ticks > res.Rounds {
+			res.Rounds = nd.ticks
+		}
+	}
+	return res, e.runErr
+}
+
+// runNode wraps one node's program, translating returns and panics into
+// the termination record exactly as the production engine does: the
+// abort sentinel and ErrMemory pass through, anything else becomes a
+// "panicked" error; sends staged before termination are still routed.
+func (e *Engine) runNode(c *Ctx, program func(NodeCtx)) {
+	defer func() {
+		nd := &e.nodes[c.id]
+		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && (errors.Is(err, errAbort) || errors.Is(err, sim.ErrMemory)) {
+				nd.err = err
+			} else {
+				nd.err = fmt.Errorf("sim: node %d panicked: %v", c.id, r)
+			}
+		}
+		nd.done = true
+		nd.staged = c.outbox
+		c.outbox = nil
+		e.step <- struct{}{}
+	}()
+	program(c)
+}

@@ -317,18 +317,18 @@ func TestStrictChargeAloneStillUnderMu(t *testing.T) {
 
 func TestStrictMemoryAbortsAcrossShards(t *testing.T) {
 	// Strict abort driven by a node in a non-zero delivery shard
-	// (id > shardSpan) exercises the separate account/resume phases of
+	// (id > ShardSpan) exercises the separate account/resume phases of
 	// the sharded strict path.
-	n := shardSpan + 88
+	n := ShardSpan + 88
 	e := New(newPath(n), WithMu(1), WithStrictMemory())
 	_, err := e.Run(func(c *Ctx) {
-		if c.ID() == shardSpan+42 {
+		if c.ID() == ShardSpan+42 {
 			c.Tick() // receives 2 messages > μ=1
 			c.Tick()
 			return
 		}
 		for _, u := range c.Neighbors() {
-			if u == shardSpan+42 {
+			if u == ShardSpan+42 {
 				c.SendID(u, Msg{})
 			}
 		}

@@ -1,0 +1,53 @@
+package topo
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzTopoParse pins the registry's parsing contract: Parse never
+// panics (malformed specs must return errors), and any spec that
+// parses round-trips through its canonical String() form — the
+// property experiment records rely on when they embed a spec and later
+// rebuild the graph from it.
+//
+// The seed corpus covers every registered family three ways: the bare
+// name, the canonical fully-explicit form, and a single-argument form —
+// plus a spread of malformed inputs that must error cleanly.
+func FuzzTopoParse(f *testing.F) {
+	for _, fam := range FamilyNames() {
+		f.Add(fam)
+		f.Add(MustParse(fam).String())
+		ps := lookup(fam).Params
+		if len(ps) > 0 {
+			f.Add(fam + ":" + ps[0].Name + "=" + ps[0].Default)
+		}
+	}
+	for _, bad := range []string{
+		"", ":", "nope", "nope:n=4", "gnp:", "gnp:n", "gnp:n=", "gnp:=4",
+		"gnp:n=4,n=4", "gnp:q=4", "torus:rows=,", "cycle:n=four",
+		"grid:rows=3,cols", "  ", "gnp:n==5", "cycle:n=-1", "powerlaw:n=1,attach=9",
+	} {
+		f.Add(bad)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sp, err := Parse(s)
+		if err != nil {
+			if !strings.Contains(err.Error(), "topo:") {
+				t.Errorf("Parse(%q) error lacks package prefix: %v", s, err)
+			}
+			return
+		}
+		canon := sp.String()
+		sp2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q failed to re-parse: %v", canon, s, err)
+		}
+		if got := sp2.String(); got != canon {
+			t.Fatalf("canonical form is not a fixed point: %q -> %q (from %q)", canon, got, s)
+		}
+		if sp2.Family != sp.Family {
+			t.Fatalf("family changed across round-trip: %q -> %q", sp.Family, sp2.Family)
+		}
+	})
+}
