@@ -3,12 +3,30 @@
 
 BENCH_RECORD ?= BENCH_PR4.json
 FUZZTIME ?= 30s
+MUVET ?= bin/muvet
 
-.PHONY: test bench bench-record diff-harness cover
+.PHONY: test lint muvet bench bench-record diff-harness cover
 
 test:
 	go build ./...
 	go test ./...
+
+# Build the repo's vettool (five analyzers enforcing the determinism,
+# inbox-aliasing, RNG-derivation, hot-path-allocation and record-purity
+# contracts — see internal/tools/muvet and DESIGN.md).
+muvet:
+	go build -o $(MUVET) ./cmd/muvet
+
+# Static contract enforcement: gofmt, stock vet, the muvet suite (over
+# the default and simdebug build tags), and staticcheck when installed.
+lint: muvet
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	go vet ./...
+	go vet -vettool=$(MUVET) ./...
+	go vet -vettool=$(MUVET) -tags simdebug ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+		else echo "staticcheck not installed; skipping"; fi
 
 # Differential verification: the seeded randomized scenario corpus
 # (reference engine vs sharded engine, workers 1 and 4), then a native

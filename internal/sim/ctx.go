@@ -130,6 +130,8 @@ func (c *Ctx) Round() int { return c.rt.ticks }
 
 // meter charges one message against the per-edge cap of port, growing
 // the stamped count array to cover it first.
+//
+//muvet:hotpath
 func (c *Ctx) meter(port int) {
 	if port >= len(c.sent) {
 		c.growSent(port + 1)
@@ -167,6 +169,8 @@ func (c *Ctx) growSent(n int) {
 // Send queues one message to the neighbor on port for delivery at the
 // start of the next round. It panics if the per-edge bandwidth cap is
 // exceeded within the current round.
+//
+//muvet:hotpath
 func (c *Ctx) Send(port int, m Msg) {
 	c.meter(port)
 	var to int
@@ -192,6 +196,8 @@ func (c *Ctx) SendID(id int, m Msg) {
 // Broadcast queues one copy of m to every neighbor. It meters and
 // resolves all ports in single passes instead of re-deriving each
 // neighbor through the generic Send path.
+//
+//muvet:hotpath
 func (c *Ctx) Broadcast(m Msg) {
 	deg := c.deg
 	if deg == 0 {
@@ -249,6 +255,8 @@ func (c *Ctx) Broadcast(m Msg) {
 // Tick call. Copy any messages that must outlive the round. Build with
 // `-tags simdebug` to poison retired buffers and surface violations of
 // this contract as sentinel messages (From/Kind = -1).
+//
+//muvet:hotpath
 func (c *Ctx) Tick() []Incoming {
 	rt := c.rt
 	rt.ticks++
@@ -273,6 +281,8 @@ func (c *Ctx) Idle(k int) {
 
 // Emit outputs v. Per the μ-CONGEST model, emitted outputs leave the
 // node immediately and consume no memory.
+//
+//muvet:hotpath
 func (c *Ctx) Emit(v any) {
 	c.rt.outputs = append(c.rt.outputs, v)
 }
@@ -289,6 +299,8 @@ func (c *Ctx) Emit(v any) {
 // update and the strict-mode abort check match the engine's barrier
 // accounting: a node that charges over μ while still holding its inbox
 // aborts (strict) and has the overrun reflected in PeakWords.
+//
+//muvet:hotpath
 func (c *Ctx) Charge(words int64) {
 	if words < 0 {
 		panic(fmt.Sprintf("sim: node %d Charge(%d): negative words (use Release to return memory)",
@@ -307,6 +319,8 @@ func (c *Ctx) Charge(words int64) {
 
 // Release returns `words` words to the memory meter. Negative words are
 // rejected with a panic, symmetrically with Charge.
+//
+//muvet:hotpath
 func (c *Ctx) Release(words int64) {
 	if words < 0 {
 		panic(fmt.Sprintf("sim: node %d Release(%d): negative words (use Charge to add memory)",
@@ -328,6 +342,8 @@ func (c *Ctx) Live() int64 { return c.rt.live }
 // before this node was last resumed, so it is free for reuse. The two
 // buffers alternate, making steady-state sends allocation-free. Bumping
 // the round stamp invalidates every per-port send count in O(1).
+//
+//muvet:hotpath
 func (c *Ctx) takeOutbox() []routed {
 	out := c.outbox
 	c.outbox = c.spare[:0]

@@ -15,7 +15,8 @@ func TestPoisonStaleInbox(t *testing.T) {
 		c.SendID(1-c.ID(), Msg{Kind: 7, A: int64(c.ID())})
 		in := c.Tick()
 		if c.ID() == 0 {
-			stale = in // contract violation, on purpose
+			//muvet:allow inboxalias(this test violates the contract on purpose to assert simdebug poisoning catches it)
+			stale = in
 		}
 		c.Tick()
 	}); err != nil {

@@ -188,6 +188,8 @@ func (e *Engine) shardPhase(k phaseKind, s int) {
 // by the node itself before its barrier arrival, so it is immutable
 // during the phase and safe to read across shards; finished is the
 // owning shard's acknowledgment, written in its account phase.
+//
+//muvet:hotpath
 func (e *Engine) routeShard(st *shardState, lo, hi int) {
 	nodes := e.nodes
 	senderOut := e.senderOut
@@ -236,6 +238,8 @@ func (e *Engine) routeShard(st *shardState, lo, hi int) {
 // sequence. Memory is evaluated for every live node — including nodes
 // that received nothing — so OverRounds counts charge-only and quiet
 // rounds too.
+//
+//muvet:hotpath
 func (e *Engine) accountShard(st *shardState, s, lo, hi int, resume bool) {
 	nodes := e.nodes
 	for _, src := range e.shards {
@@ -267,6 +271,7 @@ func (e *Engine) accountShard(st *shardState, s, lo, hi int, resume bool) {
 		if len(rt.inbox) > 0 && order != OrderBySender {
 			switch order {
 			case OrderRandom:
+				//muvet:allow hotalloc(rand.Shuffle swap closure does not escape; the alloc-free pin in TestSteadyStateRoundAllocFree covers this path)
 				st.rng.Shuffle(len(rt.inbox), func(i, j int) {
 					rt.inbox[i], rt.inbox[j] = rt.inbox[j], rt.inbox[i]
 				})
@@ -294,6 +299,8 @@ func (e *Engine) accountShard(st *shardState, s, lo, hi int, resume bool) {
 // array: the next delivery for this node can only run after the node has
 // ticked again, so truncating here is safe under the Tick aliasing
 // contract.
+//
+//muvet:hotpath
 func (e *Engine) resumeNode(rt *nodeRT) {
 	in := rt.inbox
 	if len(in) == 0 {

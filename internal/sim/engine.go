@@ -468,6 +468,8 @@ func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
 // arrive is a node's barrier arrival: all of its round state is
 // published (plain writes sequenced before the decrement), and the last
 // arrival hands the round to the engine with a single channel send.
+//
+//muvet:hotpath
 func (e *Engine) arrive() {
 	if e.arrivals.Add(-1) == 0 {
 		e.wake <- struct{}{}

@@ -1,0 +1,69 @@
+// Package analysis is a minimal, dependency-free stand-in for the
+// golang.org/x/tools/go/analysis framework, carrying exactly the
+// surface the muvet suite needs: an Analyzer runs over one type-checked
+// package and reports position-anchored diagnostics.
+//
+// The repo builds offline against the standard library only, so the
+// real x/tools module cannot be assumed present. The API mirrors the
+// upstream names (Analyzer, Pass, Diagnostic, Reportf) so the analyzers
+// port to the real framework by swapping this import if x/tools ever
+// becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //muvet:allow annotations. By convention it is a short
+	// lower-case word (e.g. "nodeterm").
+	Name string
+	// Doc is the one-paragraph description shown by `muvet -list`.
+	Doc string
+	// Run applies the check to one package and reports findings
+	// through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass is the unit of work handed to an Analyzer: one type-checked
+// package plus a sink for diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's syntax trees, parsed with comments.
+	Files []*ast.File
+	// Pkg is the type-checked package. ImportPath is the path the
+	// build system knows the package by — for test variants it is the
+	// base package path (any " [pkg.test]" suffix already stripped).
+	Pkg        *types.Package
+	ImportPath string
+	TypesInfo  *types.Info
+	Report     func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string // analyzer name, stamped by the driver if empty
+	Message  string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Category: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// File returns the syntax tree containing pos, or nil.
+func (p *Pass) File(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}

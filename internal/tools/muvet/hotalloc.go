@@ -1,0 +1,212 @@
+package muvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mucongest/internal/tools/muvet/analysis"
+)
+
+// HotAlloc turns the TestSteadyStateRoundAllocFree runtime pin into a
+// per-line review gate: functions annotated //muvet:hotpath must not
+// contain constructs that allocate on the steady-state path —
+//
+//   - fmt formatting calls (Sprintf and family);
+//   - map and slice composite literals;
+//   - make / new calls;
+//   - append onto a freshly made slice or slice literal (uncapped
+//     growth every call);
+//   - string concatenation and string<->[]byte conversions;
+//   - function literals capturing outer variables (potential closure
+//     allocation);
+//   - explicit conversions to an interface type (boxing).
+//
+// Two cold sub-paths are recognized and exempt without annotation:
+// anything that only feeds a panic call (abort paths run once), and
+// anything inside an if whose condition reads cap(...) (the
+// grow-on-demand warmup idiom — it stops allocating once buffers reach
+// steady-state capacity). Everything else needs
+// //muvet:allow hotalloc(reason) with a justification.
+var HotAlloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "//muvet:hotpath functions must not allocate on the steady-state path",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *analysis.Pass) error {
+	allow := buildAllowlist(pass)
+	report := func(pos token.Pos, format string, args ...any) {
+		if !allow.allowed(pass.Fset, pos, "hotalloc") {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !hasHotpathDirective(fn) {
+				continue
+			}
+			checkHotFunc(pass, fn, report)
+		}
+	}
+	return nil
+}
+
+// checkHotFunc walks one hot-path function keeping the enclosing-node
+// stack, so each allocating construct can be tested for the two cold
+// exemptions (panic argument, cap-guarded warmup block).
+func checkHotFunc(pass *analysis.Pass, fn *ast.FuncDecl, report func(token.Pos, string, ...any)) {
+	info := pass.TypesInfo
+	var stack []ast.Node
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if coldContext(stack) {
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					report(n.Pos(), "map literal allocates in hot path %s", fn.Name.Name)
+				case *types.Slice:
+					report(n.Pos(), "slice literal allocates in hot path %s", fn.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, fn, n, report)
+		case *ast.FuncLit:
+			if captures(info, n) {
+				report(n.Pos(), "capturing closure in hot path %s may allocate per call (hoist it or //muvet:allow hotalloc(reason) if proven non-escaping)", fn.Name.Name)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(info, n) {
+				report(n.Pos(), "string concatenation allocates in hot path %s", fn.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isStringType(info, n.Lhs[0]) {
+				report(n.Pos(), "string concatenation allocates in hot path %s", fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall classifies one call inside a hot function.
+func checkHotCall(pass *analysis.Pass, fn *ast.FuncDecl, call *ast.CallExpr, report func(token.Pos, string, ...any)) {
+	info := pass.TypesInfo
+	if path, name := pkgFunc(info, call); path == "fmt" && fmtFormatFuncs[name] {
+		report(call.Pos(), "fmt.%s allocates in hot path %s", name, fn.Name.Name)
+		return
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if ok {
+		switch id.Name {
+		case "make":
+			report(call.Pos(), "make allocates in hot path %s (pre-size in setup, or guard with a cap() check for warmup growth)", fn.Name.Name)
+			return
+		case "new":
+			report(call.Pos(), "new allocates in hot path %s", fn.Name.Name)
+			return
+		case "append":
+			if len(call.Args) > 0 && isFreshSlice(call.Args[0]) {
+				report(call.Pos(), "append onto a fresh slice allocates every call in hot path %s (reuse a buffer)", fn.Name.Name)
+			}
+			return
+		case "string":
+			report(call.Pos(), "string conversion allocates in hot path %s", fn.Name.Name)
+			return
+		}
+	}
+	// Explicit conversions: []byte(s) and interface boxing T(x).
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		switch tv.Type.Underlying().(type) {
+		case *types.Slice:
+			report(call.Pos(), "slice conversion allocates in hot path %s", fn.Name.Name)
+		case *types.Interface:
+			report(call.Pos(), "interface conversion boxes its operand in hot path %s", fn.Name.Name)
+		}
+	}
+}
+
+// isFreshSlice reports whether the append base is allocated at the
+// call site: a slice literal or a make call.
+func isFreshSlice(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			return id.Name == "make"
+		}
+	}
+	return false
+}
+
+// coldContext reports whether the innermost enclosing constructs mark
+// the current node as off the steady-state path: a panic argument, or
+// a block guarded by an if condition reading cap(...).
+func coldContext(stack []ast.Node) bool {
+	for i, n := range stack {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" && i < len(stack)-1 {
+				return true
+			}
+		case *ast.IfStmt:
+			if condReadsCap(n.Cond) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// condReadsCap reports whether an if condition contains a cap(...)
+// call — the warmup grow-guard idiom.
+func condReadsCap(cond ast.Expr) bool {
+	return contains(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "cap"
+	})
+}
+
+// captures reports whether a function literal references identifiers
+// declared outside it (other than package-level objects, whose use
+// never forces a closure allocation by itself).
+func captures(info *types.Info, lit *ast.FuncLit) bool {
+	return contains(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		obj := objOf(info, id)
+		v, isVar := obj.(*types.Var)
+		if !isVar || v.IsField() {
+			return false
+		}
+		if v.Pkg() == nil || v.Parent() == v.Pkg().Scope() {
+			return false // package-level variable, not a capture
+		}
+		return v.Pos() < lit.Pos() || v.Pos() > lit.End()
+	})
+}
+
+// isStringType reports whether e's static type is a string.
+func isStringType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

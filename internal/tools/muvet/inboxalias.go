@@ -1,0 +1,364 @@
+package muvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mucongest/internal/tools/muvet/analysis"
+)
+
+// InboxAlias statically enforces the Tick inbox aliasing contract: the
+// slice returned by Tick aliases an engine-owned buffer that is reused
+// for the node's next delivery, so it is valid only until the node's
+// next Tick (or Idle) call and must never outlive the round. This is
+// the compile-time complement of `-tags simdebug` poisoning, which
+// turns the same violations into runtime sentinels.
+//
+// Flagged escapes of an inbox value (the Tick result or a variable
+// bound to it):
+//
+//   - assignment into a struct field, or into a variable declared
+//     outside the function holding the inbox (package var or an outer
+//     function's local captured by the program closure);
+//   - a channel send;
+//   - storing the slice itself via append(dst, inbox) — appending the
+//     elements with append(dst, inbox...) copies and is fine;
+//   - returning the inbox;
+//   - capturing the inbox variable in a nested function literal.
+//
+// Additionally, any read of an inbox variable after a later Tick/Idle
+// call on the same context — including reads reached by a loop back
+// edge when the inbox was bound before the loop — is a
+// use-after-invalidation.
+//
+// Suppress deliberate violations (e.g. the simdebug poisoning test)
+// with //muvet:allow inboxalias(reason).
+var InboxAlias = &analysis.Analyzer{
+	Name: "inboxalias",
+	Doc:  "flag Tick inbox slices escaping their round or read after the next Tick",
+	Run:  runInboxAlias,
+}
+
+func runInboxAlias(pass *analysis.Pass) error {
+	allow := buildAllowlist(pass)
+	report := func(pos token.Pos, format string, args ...any) {
+		if !allow.allowed(pass.Fset, pos, "inboxalias") {
+			pass.Reportf(pos, format, args...)
+		}
+	}
+	for _, f := range pass.Files {
+		var frames []*ast.BlockStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					frames = append(frames, n.Body)
+				}
+			case *ast.FuncLit:
+				frames = append(frames, n.Body)
+			}
+			return true
+		})
+		for _, body := range frames {
+			checkInboxFrame(pass, body, report)
+		}
+	}
+	return nil
+}
+
+// isTickCall matches a method call spelled x.Tick() with no arguments
+// whose static result is a slice — the inbox-producing call on either
+// engine's Ctx or on the shared NodeCtx contract. It returns the root
+// identifier object of the receiver when it is a plain identifier.
+func isTickCall(info *types.Info, n ast.Node) (recv types.Object, ok bool) {
+	call, isCall := n.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 0 {
+		return nil, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || sel.Sel.Name != "Tick" {
+		return nil, false
+	}
+	if tv, ok := info.Types[call]; !ok || tv.Type == nil {
+		return nil, false
+	} else if _, isSlice := tv.Type.Underlying().(*types.Slice); !isSlice {
+		return nil, false
+	}
+	if id, isID := sel.X.(*ast.Ident); isID {
+		recv = objOf(info, id)
+	}
+	return recv, true
+}
+
+// isYieldCall matches Tick and Idle method calls — the points at which
+// a previously delivered inbox is invalidated.
+func isYieldCall(info *types.Info, n ast.Node) (recv types.Object, ok bool) {
+	call, isCall := n.(*ast.CallExpr)
+	if !isCall {
+		return nil, false
+	}
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || (sel.Sel.Name != "Tick" && sel.Sel.Name != "Idle") {
+		return nil, false
+	}
+	if _, isMethod := info.Uses[sel.Sel].(*types.Func); !isMethod {
+		return nil, false
+	}
+	if id, isID := sel.X.(*ast.Ident); isID {
+		recv = objOf(info, id)
+	}
+	return recv, true
+}
+
+// sameCtx reports whether two receiver objects may be the same node
+// context. Unknown receivers are treated conservatively as matching.
+func sameCtx(a, b types.Object) bool {
+	if a == nil || b == nil {
+		return true
+	}
+	return a == b
+}
+
+// inboxEvent is one assignment to a tracked variable: a fresh Tick
+// binding or an overwrite that retires the old value.
+type inboxEvent struct {
+	pos    token.Pos
+	isTick bool
+	recv   types.Object // Tick receiver for isTick events
+}
+
+// inboxYield is one Tick/Idle call site in the frame.
+type inboxYield struct {
+	pos     token.Pos
+	recv    types.Object
+	rebinds types.Object // variable this yield's result is assigned to, if any
+}
+
+// checkInboxFrame analyzes one function body. Nested function literals
+// are separate frames: their internals are skipped here except that
+// reads of this frame's inbox variables inside them are capture
+// escapes.
+func checkInboxFrame(pass *analysis.Pass, body *ast.BlockStmt, report func(token.Pos, string, ...any)) {
+	info := pass.TypesInfo
+	events := map[types.Object][]inboxEvent{}
+	var yields []inboxYield
+
+	// skipOuterLit returns true when pos sits inside a function literal
+	// nested in this frame.
+	var litRanges [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			litRanges = append(litRanges, [2]token.Pos{lit.Pos(), lit.End()})
+			return false
+		}
+		return true
+	})
+	inNestedLit := func(pos token.Pos) bool {
+		for _, r := range litRanges {
+			if r[0] <= pos && pos < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 1 (source order): record Tick bindings, overwrites of bound
+	// variables, and yield sites — all at this frame's nesting level.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil || inNestedLit(n.Pos()) {
+			return n == nil || !inNestedLit(n.Pos())
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i, rhs := range n.Rhs {
+					id, isID := n.Lhs[i].(*ast.Ident)
+					if !isID || id.Name == "_" {
+						continue
+					}
+					obj := objOf(info, id)
+					if obj == nil {
+						continue
+					}
+					if recv, ok := isTickCall(info, rhs); ok {
+						events[obj] = append(events[obj], inboxEvent{pos: n.End(), isTick: true, recv: recv})
+					} else if len(events[obj]) > 0 {
+						events[obj] = append(events[obj], inboxEvent{pos: n.End()})
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if recv, ok := isYieldCall(info, n); ok {
+				yields = append(yields, inboxYield{pos: n.Pos(), recv: recv, rebinds: yieldRebind(info, body, n)})
+			}
+		}
+		return true
+	})
+	if len(events) == 0 && len(yields) == 0 {
+		// Still check direct escapes of unbound Tick results below.
+	}
+
+	latestBind := func(obj types.Object, pos token.Pos) (inboxEvent, bool) {
+		evs := events[obj]
+		var last inboxEvent
+		ok := false
+		for _, e := range evs {
+			if e.pos <= pos {
+				last, ok = e, true
+			}
+		}
+		return last, ok && last.isTick
+	}
+	// inboxValue reports whether expr is, at its position, an inbox: a
+	// direct Tick call or a variable whose latest binding is one.
+	inboxValue := func(e ast.Expr) (types.Object, bool) {
+		e = ast.Unparen(e)
+		if _, ok := isTickCall(info, e); ok {
+			return nil, true
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			obj := objOf(info, id)
+			if obj == nil {
+				return nil, false
+			}
+			if _, bound := latestBind(obj, e.Pos()); bound {
+				return obj, true
+			}
+		}
+		return nil, false
+	}
+	declaredOutsideFrame := func(obj types.Object) bool {
+		return obj != nil && (obj.Pos() < body.Pos() || obj.Pos() > body.End())
+	}
+
+	// Loop spans for the back-edge rule.
+	var loops [][2]token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, [2]token.Pos{n.Pos(), n.End()})
+		case *ast.FuncLit:
+			return false
+		}
+		return true
+	})
+
+	// Pass 2: escapes and use-after-invalidation.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if inNestedLit(n.Pos()) {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				obj, isInbox := inboxValue(n.Rhs[i])
+				if !isInbox {
+					continue
+				}
+				_ = obj
+				switch l := lhs.(type) {
+				case *ast.SelectorExpr:
+					report(n.Pos(), "inbox slice stored in field %s: it aliases an engine buffer valid only until the next Tick (copy the messages instead)", l.Sel.Name)
+				case *ast.IndexExpr:
+					report(n.Pos(), "inbox slice stored into a container: it aliases an engine buffer valid only until the next Tick (copy the messages instead)")
+				case *ast.Ident:
+					if lobj := objOf(info, l); declaredOutsideFrame(lobj) {
+						report(n.Pos(), "inbox slice assigned to %s, declared outside this function: the buffer is reused at the next Tick (copy the messages instead)", l.Name)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if inNestedLit(n.Pos()) {
+				return true
+			}
+			if _, isInbox := inboxValue(n.Value); isInbox {
+				report(n.Pos(), "inbox slice sent on a channel: it aliases an engine buffer valid only until the next Tick (copy the messages instead)")
+			}
+		case *ast.ReturnStmt:
+			if inNestedLit(n.Pos()) {
+				return true
+			}
+			for _, r := range n.Results {
+				if _, isInbox := inboxValue(r); isInbox {
+					report(n.Pos(), "inbox slice returned from the function: it aliases an engine buffer valid only until the next Tick (copy the messages instead)")
+				}
+			}
+		case *ast.CallExpr:
+			if inNestedLit(n.Pos()) {
+				return true
+			}
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && n.Ellipsis == token.NoPos {
+				for _, arg := range n.Args[1:] {
+					if _, isInbox := inboxValue(arg); isInbox {
+						report(arg.Pos(), "inbox slice stored via append: appending the slice value retains the engine buffer (use append(dst, inbox...) to copy the messages)")
+					}
+				}
+			}
+		case *ast.Ident:
+			obj := objOf(info, n)
+			if obj == nil {
+				return true
+			}
+			bind, bound := latestBind(obj, n.Pos())
+			if !bound || bind.pos > n.Pos() {
+				return true
+			}
+			if inNestedLit(n.Pos()) {
+				report(n.Pos(), "inbox variable %s captured by a nested function literal: the closure may outlive the round (copy the messages instead)", n.Name)
+				return true
+			}
+			// Linear rule: a yield on the same context strictly between
+			// the binding and this use invalidates the inbox.
+			for _, y := range yields {
+				if bind.pos < y.pos && y.pos < n.Pos() && sameCtx(y.recv, bind.recv) {
+					report(n.Pos(), "use of inbox %s after a later Tick: the engine reused its buffer at that barrier (bind a fresh Tick result or copy before ticking)", n.Name)
+					return true
+				}
+			}
+			// Back-edge rule: bound before a loop that both uses it and
+			// yields without rebinding it.
+			for _, l := range loops {
+				if bind.pos < l[0] && l[0] <= n.Pos() && n.Pos() < l[1] {
+					for _, y := range yields {
+						if l[0] <= y.pos && y.pos < l[1] && sameCtx(y.recv, bind.recv) && y.rebinds != obj {
+							report(n.Pos(), "use of inbox %s inside a loop that Ticks without rebinding it: stale after the first iteration (bind the Tick result each iteration)", n.Name)
+							return true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// yieldRebind returns the variable the yield call's result is bound to
+// when the call is the RHS of an assignment (`in = c.Tick()`), or nil.
+func yieldRebind(info *types.Info, body *ast.BlockStmt, call *ast.CallExpr) types.Object {
+	var obj types.Object
+	ast.Inspect(body, func(n ast.Node) bool {
+		if obj != nil {
+			return false
+		}
+		asg, ok := n.(*ast.AssignStmt)
+		if !ok || len(asg.Lhs) != len(asg.Rhs) {
+			return true
+		}
+		for i, rhs := range asg.Rhs {
+			if ast.Unparen(rhs) == call {
+				if id, ok := asg.Lhs[i].(*ast.Ident); ok {
+					obj = objOf(info, id)
+				}
+			}
+		}
+		return true
+	})
+	return obj
+}

@@ -1,0 +1,231 @@
+// Package muvet is the repo's static contract checker: five analyzers
+// that enforce, at `go vet` time, the engine invariants the runtime
+// safety net (simdebug poisoning, golden determinism digests, the
+// 0-alloc round pin, the refsim differential harness) can only catch
+// after a violation executes.
+//
+//	nodeterm     no nondeterminism sources feeding serialized output
+//	inboxalias   Tick inboxes must not escape their round
+//	shardrng     engine RNGs derive from ShardStreamSeed / the node rule
+//	hotalloc     //muvet:hotpath functions stay allocation-free
+//	recordpurity bench.Record stays byte-deterministic
+//
+// # Annotation grammar
+//
+// Findings are suppressed line by line with
+//
+//	//muvet:allow <analyzer>(<reason>)
+//
+// placed on the offending line or the line directly above it. The
+// reason is mandatory — an empty pair of parentheses does not parse —
+// so every suppression documents why the contract does not apply.
+// Several analyzers can be allowed at once:
+//
+//	//muvet:allow nodeterm(cold path) hotalloc(warmup only)
+//
+// Hot-path functions opt in to the hotalloc check with a doc-comment
+// directive on the declaration:
+//
+//	//muvet:hotpath
+//	func (c *Ctx) Send(port int, m Msg) { ... }
+package muvet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"mucongest/internal/tools/muvet/analysis"
+)
+
+// Suite returns the five analyzers in reporting order.
+func Suite() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		NoDeterm, InboxAlias, ShardRNG, HotAlloc, RecordPurity,
+	}
+}
+
+// stripTestVariant normalizes the import path of a test variant
+// ("pkg [pkg.test]") to the base package path.
+func stripTestVariant(path string) string {
+	if i := strings.Index(path, " ["); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// inScope reports whether path (already normalized) is one of the
+// given repo package paths.
+func inScope(path string, pkgs ...string) bool {
+	for _, p := range pkgs {
+		if path == p {
+			return true
+		}
+	}
+	return false
+}
+
+// isTestFile reports whether pos sits in a _test.go file.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// allowRx matches one clause of a //muvet:allow comment: the analyzer
+// name followed by a parenthesized non-empty reason.
+var allowRx = regexp.MustCompile(`([a-z]+)\(([^()]+)\)`)
+
+// allowlist indexes the //muvet:allow annotations of one pass:
+// file line → set of analyzer names allowed on that line.
+type allowlist map[string]map[int]map[string]bool
+
+// buildAllowlist scans every comment of the pass once. An annotation on
+// line L suppresses findings on L and on L+1, so both the end-of-line
+// and the line-above placement work.
+func buildAllowlist(pass *analysis.Pass) allowlist {
+	al := allowlist{}
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//muvet:allow")
+				if !ok {
+					continue
+				}
+				p := pass.Fset.Position(c.Pos())
+				lines := al[p.Filename]
+				if lines == nil {
+					lines = map[int]map[string]bool{}
+					al[p.Filename] = lines
+				}
+				for _, m := range allowRx.FindAllStringSubmatch(text, -1) {
+					for _, line := range []int{p.Line, p.Line + 1} {
+						if lines[line] == nil {
+							lines[line] = map[string]bool{}
+						}
+						lines[line][m[1]] = true
+					}
+				}
+			}
+		}
+	}
+	return al
+}
+
+// allowed reports whether analyzer name is suppressed at pos.
+func (al allowlist) allowed(fset *token.FileSet, pos token.Pos, name string) bool {
+	p := fset.Position(pos)
+	return al[p.Filename][p.Line][name]
+}
+
+// hasHotpathDirective reports whether a function declaration carries
+// the //muvet:hotpath doc directive.
+func hasHotpathDirective(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == "//muvet:hotpath" || strings.HasPrefix(c.Text, "//muvet:hotpath ") {
+			return true
+		}
+	}
+	return false
+}
+
+// contains reports whether the subtree rooted at n contains a node for
+// which pred returns true.
+func contains(n ast.Node, pred func(ast.Node) bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found || m == nil {
+			return false
+		}
+		if pred(m) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// pkgFunc resolves a call to a package-level function and returns its
+// package path and name ("" , "" when the callee is not one, e.g. a
+// method or a local closure).
+func pkgFunc(info *types.Info, call *ast.CallExpr) (path, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return "", ""
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", "" // method, not a package-level function
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// calleeName returns the bare selector or identifier name a call is
+// spelled with (the syntactic callee), e.g. "ShardStreamSeed" for both
+// ShardStreamSeed(...) and sim.ShardStreamSeed(...).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}
+
+// objOf returns the object an identifier resolves to (definition or
+// use), or nil.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// isSerializedField reports whether the struct field obj is part of a
+// serialized encoding: its tag carries a json: or csv: key that is not
+// "-". Fields without such a tag are treated as not serialized.
+func isSerializedField(s *types.Struct, i int) bool {
+	tag := s.Tag(i)
+	for _, key := range []string{"json", "csv"} {
+		v, ok := lookupTag(tag, key)
+		if ok && v != "-" {
+			return true
+		}
+	}
+	return false
+}
+
+// lookupTag is a minimal reflect.StructTag.Lookup clone (value up to
+// the first comma), avoiding a reflect dependency in the analyzers.
+func lookupTag(tag, key string) (string, bool) {
+	for tag != "" {
+		tag = strings.TrimLeft(tag, " ")
+		i := strings.Index(tag, ":\"")
+		if i < 0 {
+			break
+		}
+		name := tag[:i]
+		rest := tag[i+2:]
+		j := strings.Index(rest, `"`)
+		if j < 0 {
+			break
+		}
+		val := rest[:j]
+		tag = rest[j+1:]
+		if name == key {
+			if k := strings.Index(val, ","); k >= 0 {
+				val = val[:k]
+			}
+			return val, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,47 @@
+package muvet_test
+
+import (
+	"testing"
+
+	"mucongest/internal/tools/muvet"
+	"mucongest/internal/tools/muvet/muvettest"
+)
+
+// Each corpus declares its seeded violations with `// want` comments;
+// the importPath argument places it inside the analyzer's scope.
+
+func TestNoDeterm(t *testing.T) {
+	muvettest.Run(t, muvet.NoDeterm, "nodeterm", "mucongest/internal/sim")
+}
+
+func TestInboxAlias(t *testing.T) {
+	muvettest.Run(t, muvet.InboxAlias, "inboxalias", "example.com/inboxalias")
+}
+
+func TestShardRNG(t *testing.T) {
+	muvettest.Run(t, muvet.ShardRNG, "shardrng", "mucongest/internal/sim")
+}
+
+func TestHotAlloc(t *testing.T) {
+	muvettest.Run(t, muvet.HotAlloc, "hotalloc", "example.com/hotalloc")
+}
+
+func TestRecordPurity(t *testing.T) {
+	muvettest.Run(t, muvet.RecordPurity, "recordpurity", "mucongest/internal/bench")
+}
+
+func TestSuiteOrder(t *testing.T) {
+	want := []string{"nodeterm", "inboxalias", "shardrng", "hotalloc", "recordpurity"}
+	suite := muvet.Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("Suite() has %d analyzers, want %d", len(suite), len(want))
+	}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("Suite()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing Doc or Run", a.Name)
+		}
+	}
+}

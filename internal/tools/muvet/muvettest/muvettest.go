@@ -1,0 +1,174 @@
+// Package muvettest is a minimal analysistest clone for the muvet
+// suite: it loads a testdata package from source, runs one analyzer
+// over it, and checks the diagnostics against `// want "regexp"`
+// comments in the corpus.
+//
+// The x/tools analysistest package is not vendored here (the repo
+// builds offline against the standard library only), so this carries
+// just the subset the muvet tests need: source-importer type checking,
+// per-line want expectations, and an importPath override so a corpus
+// can stand in for a scoped repo package such as
+// "mucongest/internal/sim".
+package muvettest
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"mucongest/internal/tools/muvet/analysis"
+)
+
+// expectation is one `// want` clause: a regexp that must match a
+// diagnostic reported on the same line.
+type expectation struct {
+	file string
+	line int
+	rx   *regexp.Regexp
+	hit  bool
+}
+
+// finding is one diagnostic the analyzer actually reported.
+type finding struct {
+	file    string
+	line    int
+	message string
+	matched bool
+}
+
+// Run loads testdata/src/<dir>, type-checks it with the source
+// importer (standard library only), runs the analyzer as if the
+// package's import path were importPath, and compares diagnostics
+// with the corpus's `// want "regexp"` comments. Multiple clauses per
+// line (`// want "a" "b"`) all must match, and every diagnostic must
+// be wanted.
+func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
+	t.Helper()
+	root := filepath.Join("testdata", "src", dir)
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		t.Fatalf("muvettest: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(root, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("muvettest: parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("muvettest: no Go files under %s", root)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("muvettest: typecheck %s: %v", root, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	var got []*finding
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       fset,
+		Files:      files,
+		Pkg:        pkg,
+		ImportPath: importPath,
+		TypesInfo:  info,
+		Report: func(d analysis.Diagnostic) {
+			p := fset.Position(d.Pos)
+			got = append(got, &finding{file: filepath.Base(p.Filename), line: p.Line, message: d.Message})
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("muvettest: %s: %v", a.Name, err)
+	}
+
+	for _, f := range got {
+		for _, w := range wants {
+			if !w.hit && w.file == f.file && w.line == f.line && w.rx.MatchString(f.message) {
+				w.hit, f.matched = true, true
+				break
+			}
+		}
+	}
+	sort.Slice(got, func(i, j int) bool {
+		if got[i].file != got[j].file {
+			return got[i].file < got[j].file
+		}
+		return got[i].line < got[j].line
+	})
+	for _, f := range got {
+		if !f.matched {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", f.file, f.line, f.message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// wantRx matches the quoted regexp clauses after a want marker.
+var wantRx = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// collectWants extracts the `// want "rx"` expectations of the corpus.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				p := fset.Position(c.Pos())
+				clauses := wantRx.FindAllString(text, -1)
+				if len(clauses) == 0 {
+					t.Fatalf("%s:%d: malformed want comment %q", filepath.Base(p.Filename), p.Line, c.Text)
+				}
+				for _, cl := range clauses {
+					pat := cl
+					if pat[0] == '"' {
+						var err error
+						pat, err = strconv.Unquote(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want clause %s: %v", filepath.Base(p.Filename), p.Line, cl, err)
+						}
+					} else {
+						pat = pat[1 : len(pat)-1]
+					}
+					rx, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %s: %v", filepath.Base(p.Filename), p.Line, cl, err)
+					}
+					wants = append(wants, &expectation{file: filepath.Base(p.Filename), line: p.Line, rx: rx})
+				}
+			}
+		}
+	}
+	return wants
+}

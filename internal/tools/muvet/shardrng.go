@@ -1,0 +1,92 @@
+package muvet
+
+import (
+	"go/ast"
+	"go/token"
+
+	"mucongest/internal/tools/muvet/analysis"
+)
+
+// ShardRNG pins the engine's RNG derivation contract: inside the
+// production engine and the reference engine, every rand.NewSource
+// seed must come from sim.ShardStreamSeed (the per-shard OrderRandom
+// streams) or the documented node-RNG derivation
+// `seed*1_000_003 + int64(id)`. Ad-hoc seeding — the PR-1-era
+// `rand.NewSource(seed + something)` style — silently re-keys golden
+// digests and breaks refsim/engine parity, so it fails vet.
+//
+// Suppress a deliberate new derivation (after updating refsim and the
+// determinism docs) with //muvet:allow shardrng(reason).
+var ShardRNG = &analysis.Analyzer{
+	Name: "shardrng",
+	Doc:  "engine RNG seeds must derive from ShardStreamSeed or the node-RNG rule",
+	Run:  runShardRNG,
+}
+
+var shardRNGScope = []string{
+	"mucongest/internal/sim",
+	"mucongest/internal/sim/refsim",
+}
+
+// nodeRNGFactor is the documented node-RNG derivation multiplier
+// (Ctx.Rand streams are keyed seed*1_000_003 + id on both engines).
+const nodeRNGFactor = "1_000_003"
+
+func runShardRNG(pass *analysis.Pass) error {
+	if !inScope(pass.ImportPath, shardRNGScope...) {
+		return nil
+	}
+	allow := buildAllowlist(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if path, name := pkgFunc(pass.TypesInfo, call); path != "math/rand" || name != "NewSource" {
+				return true
+			}
+			if len(call.Args) == 1 && isBlessedSeed(call.Args[0]) {
+				return true
+			}
+			if !allow.allowed(pass.Fset, call.Pos(), "shardrng") {
+				pass.Reportf(call.Pos(), "ad-hoc rand.NewSource seed in the engine: derive it via sim.ShardStreamSeed(seed, shard) or the node rule seed*%s+int64(id) so refsim and the golden digests stay in sync", nodeRNGFactor)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isBlessedSeed recognizes the two sanctioned derivations:
+//
+//	ShardStreamSeed(seed, s)        (any qualifier)
+//	<seed expr>*1_000_003 + <id expr>
+func isBlessedSeed(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		return calleeName(call) == "ShardStreamSeed"
+	}
+	bin, ok := e.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.ADD {
+		return false
+	}
+	return isNodeRNGProduct(bin.X) || isNodeRNGProduct(bin.Y)
+}
+
+// isNodeRNGProduct matches `x * 1_000_003` in either operand order.
+func isNodeRNGProduct(e ast.Expr) bool {
+	bin, ok := ast.Unparen(e).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.MUL {
+		return false
+	}
+	return isNodeRNGLit(bin.X) || isNodeRNGLit(bin.Y)
+}
+
+func isNodeRNGLit(e ast.Expr) bool {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	return ok && lit.Kind == token.INT && (lit.Value == nodeRNGFactor || lit.Value == "1000003")
+}

@@ -1,0 +1,90 @@
+// Corpus for the inboxalias analyzer: every way a Tick inbox can
+// escape its round, plus the copying idioms that are fine.
+package inboxalias
+
+type Msg struct{ A int64 }
+
+// Ctx mimics the engine node context shape: Tick yields the inbox
+// slice (an aliased, reused buffer), Idle yields without messages.
+type Ctx struct{ buf []Msg }
+
+func (c *Ctx) Tick() []Msg { return c.buf }
+func (c *Ctx) Idle()       {}
+
+var global []Msg
+
+type holder struct{ in []Msg }
+
+func escapeToGlobal(c *Ctx) {
+	in := c.Tick()
+	global = in // want `inbox slice assigned to global, declared outside this function`
+}
+
+func escapeToField(c *Ctx, h *holder) {
+	in := c.Tick()
+	h.in = in // want `inbox slice stored in field in`
+}
+
+func escapeToChannel(c *Ctx, ch chan []Msg) {
+	in := c.Tick()
+	ch <- in // want `inbox slice sent on a channel`
+}
+
+func escapeByReturn(c *Ctx) []Msg {
+	return c.Tick() // want `inbox slice returned from the function`
+}
+
+func escapeViaAppend(c *Ctx, history [][]Msg) [][]Msg {
+	in := c.Tick()
+	history = append(history, in) // want `inbox slice stored via append`
+	return history
+}
+
+func copyViaAppendOK(c *Ctx, log []Msg) []Msg {
+	in := c.Tick()
+	log = append(log, in...) // spreading copies the messages
+	return log
+}
+
+func captureInClosure(c *Ctx) func() int {
+	in := c.Tick()
+	return func() int { return len(in) } // want `inbox variable in captured by a nested function literal`
+}
+
+func useAfterTick(c *Ctx) int64 {
+	in := c.Tick()
+	c.Tick()
+	return in[0].A // want `use of inbox in after a later Tick`
+}
+
+func useAfterIdle(c *Ctx) int {
+	in := c.Tick()
+	c.Idle()
+	return len(in) // want `use of inbox in after a later Tick`
+}
+
+func staleAcrossRounds(c *Ctx) int64 {
+	in := c.Tick()
+	var sum int64
+	for i := 0; i < 3; i++ {
+		sum += in[0].A // want `use of inbox in inside a loop that Ticks without rebinding it`
+		c.Tick()
+	}
+	return sum
+}
+
+func rebindEachRoundOK(c *Ctx) int64 {
+	var sum int64
+	in := c.Tick()
+	for i := 0; i < 3; i++ {
+		sum += in[0].A
+		in = c.Tick()
+	}
+	return sum
+}
+
+func deliberateStashAllowed(c *Ctx) {
+	in := c.Tick()
+	//muvet:allow inboxalias(poisoning-test fixture retains the slice on purpose)
+	global = in
+}

@@ -1,0 +1,117 @@
+// Corpus for the nodeterm analyzer: seeded nondeterminism violations
+// plus the idioms the checker must leave alone.
+package nodeterm
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+type stats struct {
+	ElapsedS float64       `json:"elapsed_s"`
+	Rounds   int           `json:"rounds"`
+	Wall     time.Duration `json:"-"`
+	scratch  string
+}
+
+func globalRand() int {
+	n := rand.Intn(10) // want `call to global math/rand\.Intn`
+	n += rand.Int()    // want `call to global math/rand\.Int`
+	return n
+}
+
+func seededRandOK(seed int64) int {
+	r := rand.New(rand.NewSource(seed*1_000_003 + 1))
+	return r.Intn(10)
+}
+
+func wallClockToFmt() string {
+	start := time.Now()
+	return fmt.Sprintf("took %v", time.Since(start)) // want `wall-clock value time\.Since formatted by fmt\.Sprintf`
+}
+
+func wallClockToField() stats {
+	start := time.Now()
+	el := time.Since(start)
+	return stats{
+		Rounds:   3,
+		ElapsedS: el.Seconds(), // want `wall-clock value el \(from time\.Now/time\.Since\) assigned to serialized field ElapsedS`
+		Wall:     el,           // json:"-": measuring wall time is fine
+	}
+}
+
+func wallClockFieldAssign(s *stats) {
+	t0 := time.Now()
+	s.ElapsedS = time.Since(t0).Seconds() // want `wall-clock value time\.Since written to serialized field ElapsedS`
+	s.scratch = "x"                       // untagged field: not serialized
+}
+
+func emitUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k+"!") // want `map iteration order reaches an append`
+	}
+	return out
+}
+
+func dumpUnsorted(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want `map iteration order reaches method WriteString`
+	}
+}
+
+func joinKeys(m map[string]bool) string {
+	s := ""
+	for k := range m {
+		s += k // want `map iteration order reaches string concatenation`
+	}
+	return s
+}
+
+// firstError mirrors the PR-3 abort-race shape: harvesting per-node
+// errors from a map and keeping the first one observed lets iteration
+// order pick the winner.
+func firstError(errs map[int]error) error {
+	var first error
+	for _, e := range errs {
+		if first == nil {
+			first = e // want `map iteration order reaches an overwrite of first \(first/last writer wins\)`
+		}
+	}
+	return first
+}
+
+func emitSortedOK(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func totalOK(m map[string]int) int {
+	sum := 0
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}
+
+func minValOK(m map[string]int) int {
+	best := 1 << 30
+	for _, v := range m {
+		if v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+func allowedRand() int {
+	//muvet:allow nodeterm(diagnostic sampling, never serialized)
+	return rand.Intn(3)
+}

@@ -1,0 +1,71 @@
+// Corpus for the recordpurity analyzer: serialized Record fields fed
+// from wall clocks, pointer identity, or map iteration fail; the
+// WallTime escape hatch and the sorted-params idiom pass.
+package recordpurity
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+type Record struct {
+	Family   string        `json:"family"`
+	ElapsedS float64       `json:"elapsed_s"`
+	Params   string        `json:"params"`
+	WallTime time.Duration `json:"-"`
+}
+
+func makeRecordBad(start time.Time) Record {
+	return Record{
+		Family:   "bfs",
+		ElapsedS: time.Since(start).Seconds(), // want `Record\.ElapsedS set from wall clock`
+		WallTime: time.Since(start),           // json:"-" by contract: measuring is fine
+	}
+}
+
+func labelBad(r *Record, e *int) {
+	r.Params = fmt.Sprintf("engine=%p", e) // want `Record\.Params set from pointer identity`
+}
+
+func paramsBad(r *Record, p map[string]string) {
+	s := ""
+	for k, v := range p {
+		s += k + "=" + v + ";"
+	}
+	r.Params = s // want `Record\.Params set from a value built under map iteration`
+}
+
+func paramsSortedOK(r *Record, p map[string]string) {
+	keys := make([]string, 0, len(p))
+	for k := range p {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	s := ""
+	for _, k := range keys {
+		s += k + "=" + p[k] + ";"
+	}
+	r.Params = s
+}
+
+func WriteRecordsDebug(w io.Writer, recs []Record) {
+	fmt.Fprintf(w, "# emitted at %v\n", time.Now()) // want `wall-clock read inside emitter WriteRecordsDebug`
+	for i := range recs {
+		fmt.Fprintf(w, "%d\n", i)
+	}
+}
+
+func WriteRecordsTrace(w io.Writer, recs []*Record) {
+	for _, r := range recs {
+		fmt.Fprintf(w, "rec@%p\n", r) // want `pointer-formatting \(%p\) inside emitter WriteRecordsTrace`
+	}
+}
+
+var schemaRev = 1
+
+func stampAllowed(r *Record) {
+	//muvet:allow recordpurity(stable package-level address, identical within a run)
+	r.Params = fmt.Sprintf("%v", &schemaRev)
+}

@@ -1,0 +1,32 @@
+// Corpus for the shardrng analyzer: the two blessed seed derivations
+// pass, anything ad hoc fails.
+package shardrng
+
+import "math/rand"
+
+// ShardStreamSeed stands in for sim.ShardStreamSeed: the analyzer
+// matches the callee name, so the corpus supplies a local twin.
+func ShardStreamSeed(seed int64, shard int) int64 {
+	return seed ^ int64(shard)*2654435761
+}
+
+func adHocSeed(seed int64, shard int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(shard))) // want `ad-hoc rand\.NewSource seed in the engine`
+}
+
+func bareSeed(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // want `ad-hoc rand\.NewSource seed in the engine`
+}
+
+func blessedShardSeed(seed int64, shard int) *rand.Rand {
+	return rand.New(rand.NewSource(ShardStreamSeed(seed, shard)))
+}
+
+func blessedNodeSeed(seed int64, id int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(id)))
+}
+
+func allowedMigration(seed int64) *rand.Rand {
+	//muvet:allow shardrng(scratch stream for a local experiment, not part of any digest)
+	return rand.New(rand.NewSource(seed + 99))
+}
