@@ -74,15 +74,28 @@ func BenchmarkE10_MonochromaticTriangles(b *testing.B) {
 func benchEngineRounds(b *testing.B, topo sim.Topology, rounds int, opts ...sim.Option) {
 	b.Helper()
 	b.ReportAllocs()
-	program := func(c *sim.Ctx) {
-		for r := 0; r < rounds; r++ {
-			c.Broadcast(sim.Msg{Kind: 1, A: int64(c.ID()), B: int64(r)})
-			c.Tick()
-		}
-	}
+	program := bench.BroadcastProgram(rounds)
 	for i := 0; i < b.N; i++ {
 		e := sim.New(topo, append([]sim.Option{sim.WithSeed(1)}, opts...)...)
 		if _, err := e.Run(program); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchEngineRoundsStep runs the identical workload in goroutine-free
+// step mode: the machines are pre-allocated outside the timer once and
+// reset per iteration, so ns/op isolates the engine's round loop (bind,
+// route, account, inline step dispatch) exactly as the goroutine cells
+// isolate theirs.
+func benchEngineRoundsStep(b *testing.B, topo sim.Topology, rounds int, opts ...sim.Option) {
+	b.Helper()
+	b.ReportAllocs()
+	prog := bench.BroadcastSteps(topo.N(), rounds)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := sim.New(topo, append([]sim.Option{sim.WithSeed(1)}, opts...)...)
+		if _, err := e.RunProgram(prog); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -121,7 +134,7 @@ func BenchmarkEngineRoundBroadcastComplete512(b *testing.B) {
 // (graph generation) happens once per benchmark, outside the timer.
 
 var benchLargeTopo = struct {
-	cycle, torus, powerlaw sim.Topology
+	cycle, cycle1m, torus, powerlaw sim.Topology
 }{}
 
 func largeCycle() sim.Topology {
@@ -147,6 +160,42 @@ func BenchmarkEngineRoundCycle65536Workers4(b *testing.B) {
 
 func BenchmarkEngineRoundCycle65536WorkersMax(b *testing.B) {
 	benchEngineLarge(b, largeCycle(), 0) // 0 = GOMAXPROCS
+}
+
+// The Step triple is the A/B counterpart of the three cells above: the
+// identical broadcast workload on the identical topology, but driven
+// goroutine-free through the step runtime. The goroutine cells pay
+// 65536 goroutine spawns + barrier hand-offs per op; these pay a bind
+// phase and inline step dispatch inside the delivery workers.
+
+func benchEngineLargeStep(b *testing.B, topo sim.Topology, workers int) {
+	b.Helper()
+	benchEngineRoundsStep(b, topo, 4, sim.WithSimWorkers(workers))
+}
+
+func BenchmarkEngineRoundCycle65536StepWorkers1(b *testing.B) {
+	benchEngineLargeStep(b, largeCycle(), 1)
+}
+
+func BenchmarkEngineRoundCycle65536StepWorkers4(b *testing.B) {
+	benchEngineLargeStep(b, largeCycle(), 4)
+}
+
+func BenchmarkEngineRoundCycle65536StepWorkersMax(b *testing.B) {
+	benchEngineLargeStep(b, largeCycle(), 0)
+}
+
+// BenchmarkEngineRoundCycle1MStep is the scale smoke the goroutine
+// runtime cannot reasonably serve: a full broadcast round loop over a
+// one-million-node cycle, goroutine-free. Run with -benchtime 1x in CI;
+// a single op proves a routine 1M-node run completes and bounds its
+// wall-clock.
+func BenchmarkEngineRoundCycle1MStep(b *testing.B) {
+	if benchLargeTopo.cycle1m == nil {
+		benchLargeTopo.cycle1m = graph.Cycle(1 << 20)
+	}
+	b.ResetTimer()
+	benchEngineRoundsStep(b, benchLargeTopo.cycle1m, 2, sim.WithSimWorkers(0))
 }
 
 func BenchmarkEngineRoundTorus65536(b *testing.B) {

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	muexp [-seed N] [-exp E3] [-parallel N] [-simworkers N] [-format table|csv|json] [-out FILE] [-topo SPEC]
+//	      [-engine SPEC] [-enginerounds N] [-enginemode step|goroutine]
 //	      [-cpuprofile FILE] [-memprofile FILE]
 //
 // By default every experiment runs, spread over a worker pool of
@@ -25,6 +26,19 @@
 // topology family, e.g. -topo torus:rows=8,cols=8 (see `mugraph -kinds`
 // for the registry).
 //
+// -engine SPEC bypasses the experiment sweep entirely and runs the raw
+// engine broadcast workload (internal/bench.BroadcastProgram /
+// BroadcastSteps — the same code the BenchmarkEngineRound* cells time)
+// on the named topology, printing one summary line with nodes, rounds,
+// messages and wall-clock. -enginemode selects the execution form:
+// "step" (default) drives goroutine-free state machines inline in the
+// delivery workers; "goroutine" runs the classic blocking program per
+// node. Both produce identical results; only wall-clock differs. This
+// is the CLI hook for scale smokes the benchmark harness is too heavy
+// for, e.g. a one-million-node round loop:
+//
+//	muexp -engine cycle:n=1048576 -enginemode step -enginerounds 2
+//
 // -cpuprofile and -memprofile write runtime/pprof profiles of the real
 // experiment sweep (engine hot paths included), for `go tool pprof`.
 // Unwritable profile paths are usage errors (exit 2).
@@ -39,6 +53,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"mucongest/internal/bench"
 	"mucongest/internal/sim"
@@ -62,6 +77,10 @@ func main() {
 	topoSpec := flag.String("topo", "",
 		"topology spec override, family:k=v,... (families: "+
 			strings.Join(topo.FamilyNames(), ", ")+")")
+	engineSpec := flag.String("engine", "",
+		"run the raw engine broadcast workload on this topology spec instead of the experiment sweep, e.g. cycle:n=1048576")
+	engineRounds := flag.Int("enginerounds", 4, "rounds for the -engine broadcast workload (≥ 1)")
+	engineMode := flag.String("enginemode", "step", "-engine execution form: step (goroutine-free) | goroutine")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -77,6 +96,22 @@ func main() {
 	if *simWorkers < 1 {
 		fmt.Fprintf(os.Stderr, "-simworkers must be ≥ 1 (got %d)\n", *simWorkers)
 		os.Exit(2)
+	}
+	if *engineMode != "step" && *engineMode != "goroutine" {
+		fmt.Fprintf(os.Stderr, "unknown -enginemode %q; valid: step, goroutine\n", *engineMode)
+		os.Exit(2)
+	}
+	if *engineRounds < 1 {
+		fmt.Fprintf(os.Stderr, "-enginerounds must be ≥ 1 (got %d)\n", *engineRounds)
+		os.Exit(2)
+	}
+	if *engineSpec != "" {
+		// A spec typo is a usage error (exit 2), same as -topo; graph
+		// build errors surface later through the normal error path.
+		if _, err := topo.Parse(*engineSpec); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 	}
 	sim.SetDefaultWorkers(*simWorkers)
 	selected, ok := bench.SelectSpecs(specs, *exp)
@@ -143,17 +178,21 @@ func main() {
 	// here: a truncated -out file must not exit 0.
 	ew := &errWriter{w: w}
 
-	tables := bench.RunParallel(selected, *seed, *parallel)
 	var err error
-	switch *format {
-	case "table":
-		for _, t := range tables {
-			t.Fprint(ew)
+	if *engineSpec != "" {
+		err = runEngineLoad(ew, *engineSpec, *engineMode, *engineRounds, *seed)
+	} else {
+		tables := bench.RunParallel(selected, *seed, *parallel)
+		switch *format {
+		case "table":
+			for _, t := range tables {
+				t.Fprint(ew)
+			}
+		case "csv":
+			err = bench.WriteRecordsCSV(ew, bench.Records(tables))
+		case "json":
+			err = bench.WriteRecordsJSON(ew, bench.Records(tables))
 		}
-	case "csv":
-		err = bench.WriteRecordsCSV(ew, bench.Records(tables))
-	case "json":
-		err = bench.WriteRecordsJSON(ew, bench.Records(tables))
 	}
 	if err == nil {
 		err = ew.err
@@ -177,6 +216,36 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// runEngineLoad builds the named topology and drives the canonical
+// engine broadcast workload over it in the requested execution form,
+// then writes a one-line summary including wall-clock. The timer starts
+// at engine construction: a scale smoke should bound what a cold run
+// actually costs, not just the warm round loop.
+func runEngineLoad(w io.Writer, spec, mode string, rounds int, seed int64) error {
+	tp, err := topo.Parse(spec)
+	if err != nil {
+		return err
+	}
+	g, err := tp.Build(seededRNG(seed))
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	e := sim.New(g, sim.WithSeed(seed))
+	var res *sim.Result
+	if mode == "step" {
+		res, err = e.RunProgram(bench.BroadcastSteps(g.N(), rounds))
+	} else {
+		res, err = e.Run(bench.BroadcastProgram(rounds))
+	}
+	if err != nil {
+		return err
+	}
+	_, werr := fmt.Fprintf(w, "engine %s mode=%s nodes=%d rounds=%d messages=%d elapsed=%s\n",
+		spec, mode, g.N(), res.Rounds, res.Messages, time.Since(start).Round(time.Millisecond))
+	return werr
 }
 
 // errWriter passes writes through and remembers the first error.

@@ -51,15 +51,31 @@ func BuildTopology(sc Scenario) (sim.Topology, error) {
 type Outcome struct {
 	Aborted    bool
 	Violations int
+	// Stepped reports that the scenario's behavior has a step-form twin
+	// and the cross-check also ran it: natively stepped on the
+	// production engine at every worker count, and through
+	// refsim.DriveSteps on the reference engine.
+	Stepped bool
 }
 
+// simStep adapts an engine-agnostic refsim.StepNode machine to the
+// production engine's concrete StepProgram contract.
+type simStep struct{ m refsim.StepNode }
+
+func (s simStep) Step(c *sim.Ctx, in []sim.Incoming) bool { return s.m.Step(c, in) }
+
 // CheckScenario runs sc on the reference engine and on the production
-// engine at every given worker count, and returns a descriptive error
-// on the first divergence: run error identity (down to the string),
-// round/message/drop totals, per-node outputs (the behaviors emit one
-// order-sensitive inbox fold per round, so this is a round-by-round
-// digest), per-node PeakWords, and the full violation list. It then
-// checks the metamorphic invariants the reference run's ledger implies.
+// engine — in both execution modes — at every given worker count, and
+// returns a descriptive error on the first divergence: run error
+// identity (down to the string), round/message/drop totals, per-node
+// outputs (the behaviors emit one order-sensitive inbox fold per round,
+// so this is a round-by-round digest), per-node PeakWords, and the full
+// violation list. The step-form twin of the behavior is checked two
+// ways against the blocking reference run: through refsim.DriveSteps on
+// the reference engine (certifying the hand-written machine itself) and
+// natively stepped on the production engine (certifying the
+// goroutine-free step runtime). It then checks the metamorphic
+// invariants the reference run's ledger implies.
 func CheckScenario(sc Scenario, workers ...int) (Outcome, error) {
 	g, err := BuildTopology(sc)
 	if err != nil {
@@ -70,18 +86,19 @@ func CheckScenario(sc Scenario, workers ...int) (Outcome, error) {
 		return Outcome{}, fmt.Errorf("harness: unknown behavior %q", sc.Behavior)
 	}
 	program := mk(sc)
-
-	ref := refsim.New(g, refsim.Config{
+	cfg := refsim.Config{
 		Mu:      sc.Mu,
 		Seed:    sc.Seed,
 		EdgeCap: sc.EdgeCap,
 		Order:   sc.Order,
 		Strict:  sc.Strict,
-	})
+	}
+
+	ref := refsim.New(g, cfg)
 	refRes, refErr := ref.Run(program)
 	out := Outcome{Aborted: refErr != nil, Violations: len(refRes.Violations)}
 
-	for _, w := range workers {
+	engineOpts := func(w int) []sim.Option {
 		opts := []sim.Option{
 			sim.WithMu(sc.Mu), sim.WithSeed(sc.Seed), sim.WithEdgeCap(sc.EdgeCap),
 			sim.WithInboxOrder(sc.Order), sim.WithSimWorkers(w),
@@ -89,13 +106,42 @@ func CheckScenario(sc Scenario, workers ...int) (Outcome, error) {
 		if sc.Strict {
 			opts = append(opts, sim.WithStrictMemory())
 		}
-		res, runErr := sim.New(g, opts...).Run(func(c *sim.Ctx) { program(c) })
+		return opts
+	}
+	for _, w := range workers {
+		res, runErr := sim.New(g, engineOpts(w)...).Run(func(c *sim.Ctx) { program(c) })
 		if err := compareErrors(refErr, runErr); err != nil {
 			return out, fmt.Errorf("workers=%d: %w", w, err)
 		}
 		if err := compareResults(refRes, res); err != nil {
 			return out, fmt.Errorf("workers=%d: %w", w, err)
 		}
+	}
+
+	if stepMk, ok := StepBehaviors[sc.Behavior]; ok {
+		mkNode := stepMk(sc)
+		// The step machine driven as a blocking program on the reference
+		// engine must match the blocking original: this isolates bugs in
+		// the hand-written step form from bugs in the step runtime.
+		stepRefRes, stepRefErr := refsim.New(g, cfg).Run(refsim.DriveSteps(mkNode))
+		if err := compareErrors(refErr, stepRefErr); err != nil {
+			return out, fmt.Errorf("reference-driven step form: %w", err)
+		}
+		if err := compareResults(refRes, stepRefRes); err != nil {
+			return out, fmt.Errorf("reference-driven step form: %w", err)
+		}
+		// Natively stepped on the production engine: goroutine-free.
+		prog := sim.Steps(func(c *sim.Ctx) sim.StepProgram { return simStep{mkNode(c)} })
+		for _, w := range workers {
+			res, runErr := sim.New(g, engineOpts(w)...).RunProgram(prog)
+			if err := compareErrors(refErr, runErr); err != nil {
+				return out, fmt.Errorf("workers=%d step mode: %w", w, err)
+			}
+			if err := compareResults(refRes, res); err != nil {
+				return out, fmt.Errorf("workers=%d step mode: %w", w, err)
+			}
+		}
+		out.Stepped = true
 	}
 	return out, checkInvariants(sc, refRes, ref.Stats())
 }

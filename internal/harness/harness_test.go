@@ -22,18 +22,22 @@ const corpusSize = 200
 // rewrites: 200 seeded scenarios spanning the topology registry, strict
 // and lenient μ, every inbox order and multi-shard node counts, each
 // cross-checked between the reference engine and the production engine
-// at workers 1 and 4 — digests, PeakWords, violation records and abort
-// identity all byte-identical — plus the metamorphic invariants.
+// in both execution modes (goroutine and step) at workers 1 and 4 —
+// digests, PeakWords, violation records and abort identity all
+// byte-identical — plus the metamorphic invariants.
 //
 // The coverage assertions make the corpus self-describing: if a
 // generator change (or a new corpusSeed) narrows what the scenarios
-// exercise, the test fails even though every comparison passed.
+// exercise, the test fails even though every comparison passed. That
+// includes step-mode coverage: every behavior must have run stepped at
+// least once, and every behavior must have a step-form twin at all.
 func TestDifferentialEngineRandomized(t *testing.T) {
 	scs := Corpus(corpusSeed, corpusSize)
 	families := map[string]int{}
 	orders := map[sim.InboxOrder]int{}
 	strict := map[bool]int{}
 	behaviors := map[string]int{}
+	stepped := map[string]int{}
 	multiShard, bounded, aborted, violated, implicit := 0, 0, 0, 0, 0
 
 	for i, sc := range scs {
@@ -47,6 +51,9 @@ func TestDifferentialEngineRandomized(t *testing.T) {
 		orders[sc.Order]++
 		strict[sc.Strict]++
 		behaviors[sc.Behavior]++
+		if out.Stepped {
+			stepped[sc.Behavior]++
+		}
 		if sc.N > sim.ShardSpan {
 			multiShard++
 		}
@@ -91,6 +98,15 @@ func TestDifferentialEngineRandomized(t *testing.T) {
 	for _, b := range behaviorNames {
 		if behaviors[b] == 0 {
 			t.Errorf("corpus never drew behavior %q", b)
+		}
+		// A behavior without a step-form twin silently shrinks the step
+		// runtime's differential coverage; adding one to Behaviors alone
+		// must fail here until StepBehaviors gets the twin.
+		if _, ok := StepBehaviors[b]; !ok {
+			t.Errorf("behavior %q has no step-form twin in StepBehaviors", b)
+		}
+		if stepped[b] == 0 {
+			t.Errorf("behavior %q never ran in step mode", b)
 		}
 	}
 	if multiShard == 0 {

@@ -26,6 +26,7 @@ func TestSteadyStateRoundAllocFree(t *testing.T) {
 	// behavior, is under test — so pause GC for its duration.
 	defer debug.SetGCPercent(debug.SetGCPercent(-1))
 	topo := graph.Cycle(2048) // 4 shards: the sharded delivery path, not the n ≤ 512 degenerate case
+	const n = 2048
 	const base, long = 8, 40
 	var runErr error
 	run := func(rounds int, workers int) {
@@ -40,18 +41,52 @@ func TestSteadyStateRoundAllocFree(t *testing.T) {
 			runErr = err
 		}
 	}
-	for _, workers := range []int{1, 4} {
-		short := testing.AllocsPerRun(5, func() { run(base, workers) })
-		full := testing.AllocsPerRun(5, func() { run(long, workers) })
-		if runErr != nil {
-			t.Fatal(runErr)
+	// The step-mode twin drives the same broadcast workload through the
+	// goroutine-free runtime: its per-round path (step dispatch, inline
+	// Step calls, outbox staging) must be exactly as allocation-free as
+	// the goroutine path. The machines are pre-allocated outside the
+	// measured runs, mirroring how the goroutine closure is shared.
+	stepProgs := make([]allocBroadcastStep, n)
+	runStep := func(rounds int, workers int) {
+		for i := range stepProgs {
+			stepProgs[i] = allocBroadcastStep{rounds: rounds}
 		}
-		perRound := (full - short) / float64(long-base)
-		// Zero, with only float headroom: a real regression (per-node or
-		// per-message allocation) costs thousands per round at n=2048.
-		if perRound > 0.01 {
-			t.Errorf("workers=%d: steady-state round allocates: %.2f allocs/round (short=%.0f, long=%.0f)",
-				workers, perRound, short, full)
+		e := New(topo, WithSeed(1), WithSimWorkers(workers))
+		prog := Steps(func(c *Ctx) StepProgram { return &stepProgs[c.ID()] })
+		if _, err := e.RunProgram(prog); err != nil && runErr == nil {
+			runErr = err
 		}
 	}
+	for _, mode := range []struct {
+		name string
+		run  func(rounds, workers int)
+	}{{"goroutine", run}, {"step", runStep}} {
+		for _, workers := range []int{1, 4} {
+			short := testing.AllocsPerRun(5, func() { mode.run(base, workers) })
+			full := testing.AllocsPerRun(5, func() { mode.run(long, workers) })
+			if runErr != nil {
+				t.Fatal(runErr)
+			}
+			perRound := (full - short) / float64(long-base)
+			// Zero, with only float headroom: a real regression (per-node or
+			// per-message allocation) costs thousands per round at n=2048.
+			if perRound > 0.01 {
+				t.Errorf("mode=%s workers=%d: steady-state round allocates: %.2f allocs/round (short=%.0f, long=%.0f)",
+					mode.name, workers, perRound, short, full)
+			}
+		}
+	}
+}
+
+// allocBroadcastStep is the step-form twin of the broadcast program in
+// TestSteadyStateRoundAllocFree.
+type allocBroadcastStep struct{ rounds, r int }
+
+func (s *allocBroadcastStep) Step(c *Ctx, in []Incoming) bool {
+	if s.r >= s.rounds {
+		return false
+	}
+	c.Broadcast(Msg{Kind: 1, A: int64(c.ID()), B: int64(s.r)})
+	s.r++
+	return true
 }

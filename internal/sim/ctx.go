@@ -259,6 +259,11 @@ func (c *Ctx) Broadcast(m Msg) {
 //muvet:hotpath
 func (c *Ctx) Tick() []Incoming {
 	rt := c.rt
+	if rt.step != nil {
+		// A stepped node blocking here would deadlock the delivery worker
+		// driving it; fail as a node error instead.
+		panic(fmt.Sprintf("sim: node %d runs a step program; the engine owns its round boundary (return true from Step instead of calling Tick)", c.id))
+	}
 	rt.ticks++
 	if out := c.takeOutbox(); len(out) > 0 {
 		c.eng.senderOut[c.id] = out

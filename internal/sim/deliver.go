@@ -64,6 +64,10 @@ const (
 	// phaseResume hands every live node its inbox (strict runs, after
 	// the abort decision).
 	phaseResume
+	// phaseBind materializes the shard's node contexts and binds each
+	// node's program form at run start (generic Program path only —
+	// see bindShard in step.go).
+	phaseBind
 )
 
 // shardState is one shard's scratch, reused across rounds so the hot
@@ -83,10 +87,17 @@ type shardState struct {
 
 	// Barrier bookkeeping staged by phaseRoute and drained (and reset)
 	// by the engine between phases: how many of the shard's nodes
-	// terminated at this barrier, and the error of the lowest-id node
+	// terminated at this barrier (newlyFinishedG counts the
+	// goroutine-form subset, which the engine subtracts from the
+	// arrival-barrier population), and the error of the lowest-id node
 	// that failed (excluding the engine's own abort sentinel).
-	newlyFinished int
-	err           error
+	newlyFinished  int
+	newlyFinishedG int
+	err            error
+
+	// gor stages the shard's goroutine-form nodes during phaseBind,
+	// consumed (and scrubbed) by bindNodes once every shard is bound.
+	gor []goSpawn
 }
 
 // overrun is one node's μ overrun at the current barrier, staged
@@ -146,7 +157,12 @@ func (e *Engine) initShards(sc *runScratch) {
 		st.messages = 0
 		st.dropped = 0
 		st.newlyFinished = 0
+		st.newlyFinishedG = 0
 		st.err = nil
+		for i := range st.gor {
+			st.gor[i] = goSpawn{}
+		}
+		st.gor = st.gor[:0]
 	}
 }
 
@@ -167,9 +183,11 @@ func (e *Engine) shardPhase(k phaseKind, s int) {
 	case phaseResume:
 		for id := lo; id < hi; id++ {
 			if rt := &e.nodes[id]; !rt.finished {
-				e.resumeNode(rt)
+				e.resumeNode(id, rt)
 			}
 		}
+	case phaseBind:
+		e.bindShard(e.shards[s], lo, hi)
 	}
 }
 
@@ -208,6 +226,9 @@ func (e *Engine) routeShard(st *shardState, lo, hi int) {
 		}
 		if rt.done {
 			st.newlyFinished++
+			if rt.step == nil {
+				st.newlyFinishedG++
+			}
 			if rt.nodeErr != nil {
 				if st.err == nil && !errors.Is(rt.nodeErr, errAbort) {
 					st.err = rt.nodeErr
@@ -290,18 +311,24 @@ func (e *Engine) accountShard(st *shardState, s, lo, hi int, resume bool) {
 			st.over = append(st.over, overrun{node: id, words: total})
 		}
 		if resume {
-			e.resumeNode(rt)
+			e.resumeNode(id, rt)
 		}
 	}
 }
 
 // resumeNode hands the filled buffer to the node but keeps the backing
-// array: the next delivery for this node can only run after the node has
-// ticked again, so truncating here is safe under the Tick aliasing
-// contract.
+// array: the next delivery for this node can only run after the node
+// has ticked (or stepped) again, so truncating here is safe under the
+// Tick aliasing contract. Stepped nodes are driven to their next round
+// boundary inline on this worker instead of through the resume channel
+// — this dispatch is the whole of the step-mode "fan-out".
 //
 //muvet:hotpath
-func (e *Engine) resumeNode(rt *nodeRT) {
+func (e *Engine) resumeNode(id int, rt *nodeRT) {
+	if rt.step != nil {
+		e.stepNode(&e.ctxs[id], rt)
+		return
+	}
 	in := rt.inbox
 	if len(in) == 0 {
 		in = nil

@@ -35,6 +35,33 @@ func detProgram(c *Ctx) {
 	}
 }
 
+// Golden digests of detProgram's externally visible execution record,
+// recorded on the pre-bucketed-routing engine. Shared between the
+// goroutine-mode regressions below and the step-mode parity suite
+// (step_test.go): both execution modes must reproduce the same
+// constants bit for bit, for every InboxOrder and worker count.
+var (
+	// NewComplete(12), seed 42 — single shard.
+	goldenComplete12 = map[InboxOrder]uint64{
+		OrderBySender: 0x1869edabe99e8f71,
+		OrderRandom:   0x4a46a3b848ff6d9e,
+		OrderReversed: 0xb1ba131f94737889,
+	}
+	// graph.Cycle(1536), seed 7 — 3 shards, uniform degree.
+	goldenCycle1536 = map[InboxOrder]uint64{
+		OrderBySender: 0x5063c57af0676ab3,
+		OrderRandom:   0xc666c7d3c587cf4b,
+		OrderReversed: 0xc92d294f547ec64b,
+	}
+	// graph.BarabasiAlbert(1536, 3, rng seed 13), seed 7 — 3 shards,
+	// heavy-tailed degree.
+	goldenPowerlaw1536 = map[InboxOrder]uint64{
+		OrderBySender: 0xc407122fa3770141,
+		OrderRandom:   0x8466b52c996b7f7b,
+		OrderReversed: 0x34a9fe10e8b1bd5e,
+	}
+)
+
 // digestResult folds the externally visible execution record into one
 // hash: Rounds, Messages, Dropped, Outputs and PeakWords.
 func digestResult(res *Result) uint64 {
@@ -66,12 +93,7 @@ func runDet(t *testing.T, order InboxOrder, seed int64, opts ...Option) *Result 
 // rewrite is provably bit-for-bit compatible (including the engine-RNG
 // consumption order of OrderRandom).
 func TestDeterminismRegression(t *testing.T) {
-	golden := map[InboxOrder]uint64{
-		OrderBySender: 0x1869edabe99e8f71,
-		OrderRandom:   0x4a46a3b848ff6d9e,
-		OrderReversed: 0xb1ba131f94737889,
-	}
-	for order, want := range golden {
+	for order, want := range goldenComplete12 {
 		a := runDet(t, order, 42)
 		b := runDet(t, order, 42)
 		if a.Rounds != b.Rounds || a.Messages != b.Messages || a.Dropped != b.Dropped {
@@ -116,12 +138,7 @@ func TestShardedDeterminismAcrossWorkers(t *testing.T) {
 		t.Fatalf("ShardSpan changed (%d); re-deriving the golden digests below is required", ShardSpan)
 	}
 	topo := graph.Cycle(1536)
-	golden := map[InboxOrder]uint64{
-		OrderBySender: 0x5063c57af0676ab3,
-		OrderRandom:   0xc666c7d3c587cf4b,
-		OrderReversed: 0xc92d294f547ec64b,
-	}
-	for order, want := range golden {
+	for order, want := range goldenCycle1536 {
 		for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
 			for _, strict := range []bool{false, true} {
 				opts := []Option{WithSeed(7), WithInboxOrder(order), WithSimWorkers(w)}
@@ -204,12 +221,7 @@ func TestShardedDeterminismPowerlaw(t *testing.T) {
 		t.Fatalf("ShardSpan changed (%d); re-deriving the golden digests below is required", ShardSpan)
 	}
 	topo := graph.BarabasiAlbert(1536, 3, rand.New(rand.NewSource(13)))
-	golden := map[InboxOrder]uint64{
-		OrderBySender: 0xc407122fa3770141,
-		OrderRandom:   0x8466b52c996b7f7b,
-		OrderReversed: 0x34a9fe10e8b1bd5e,
-	}
-	for order, want := range golden {
+	for order, want := range goldenPowerlaw1536 {
 		for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
 			e := New(topo, WithSeed(7), WithInboxOrder(order), WithSimWorkers(w))
 			res, err := e.Run(detProgram)

@@ -164,19 +164,23 @@ type Engine struct {
 	n       int
 	round   int
 	nodes   []nodeRT
+	ctxs    []Ctx   // flat per-node Ctx slots, from the run scratch
+	prog    Program // bound program, set only while phaseBind runs
 	aborted bool
 	runErr  error
 
 	messages int64
 	dropped  int64
 
-	// Zero-channel barrier: every node that was resumed into a round
-	// arrives back at the engine exactly once — by publishing its outbox
-	// into senderOut and (when terminating) its finished/err state into
-	// its nodeRT slot, then decrementing arrivals. Only the node whose
-	// decrement reaches zero performs one send on wake; the engine blocks
-	// on wake once per round instead of draining n per-node signals from
-	// a shared channel.
+	// Zero-channel barrier: every goroutine-form node that was resumed
+	// into a round arrives back at the engine exactly once — by
+	// publishing its outbox into senderOut and (when terminating) its
+	// finished/err state into its nodeRT slot, then decrementing
+	// arrivals. Only the node whose decrement reaches zero performs one
+	// send on wake; the engine blocks on wake once per round instead of
+	// draining n per-node signals from a shared channel. Stepped nodes
+	// are not in the population: the delivery phases drive them inline,
+	// so a pure-step run never touches arrivals or wake.
 	arrivals atomic.Int64
 	wake     chan struct{}
 
@@ -201,6 +205,11 @@ type routed struct {
 }
 
 type nodeRT struct {
+	// step is non-nil for a node running the goroutine-free step form:
+	// the delivery workers drive it inline (see step.go) instead of
+	// resuming a goroutine through the resume channel, and the node
+	// never joins the arrival barrier.
+	step   StepProgram
 	resume chan []Incoming
 	// inbox is the node's delivery buffer. It is filled by deliver while
 	// the node is blocked in Tick, handed to the node at resume, and
@@ -245,6 +254,7 @@ type runScratch struct {
 	ctxs      []Ctx
 	senderOut [][]routed
 	shards    []*shardState
+	gor       []goSpawn // spawn list for a generic Program's goroutine nodes
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(runScratch) }}
@@ -264,6 +274,7 @@ func grab(n int) *runScratch {
 	sc.senderOut = sc.senderOut[:n]
 	for i := range sc.nodes {
 		rt := &sc.nodes[i]
+		rt.step = nil
 		rt.inbox = rt.inbox[:0]
 		rt.inboxWords = 0
 		rt.live = 0
@@ -284,6 +295,7 @@ func grab(n int) *runScratch {
 func (sc *runScratch) release() {
 	for i := range sc.nodes {
 		rt := &sc.nodes[i]
+		rt.step = nil
 		rt.outputs = nil
 		rt.nodeErr = nil
 		c := &sc.ctxs[i]
@@ -298,6 +310,12 @@ func (sc *runScratch) release() {
 	for _, st := range sc.shards {
 		st.err = nil
 	}
+	// The spawn list holds func values referencing the finished run's
+	// program; scrub them so the pooled scratch keeps nothing alive.
+	for i := range sc.gor {
+		sc.gor[i] = goSpawn{}
+	}
+	sc.gor = sc.gor[:0]
 	scratchPool.Put(sc)
 }
 
@@ -330,10 +348,23 @@ func (e *Engine) N() int { return e.n }
 // Run executes program on every node and returns the aggregated result.
 // program receives the node's Ctx; returning from program terminates the
 // node. Run returns an error if the round limit was hit, a node
-// panicked, or (in strict mode) μ was violated.
+// panicked, or (in strict mode) μ was violated. Every node runs the
+// classic blocking form on its own goroutine; use RunProgram with a
+// Steps program for goroutine-free execution.
 func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
+	return e.RunProgram(Func(program))
+}
+
+// RunProgram executes p on every node and returns the aggregated
+// result. p picks each node's execution form (see Program): stepped
+// nodes are driven inline by the delivery workers, goroutine nodes run
+// the classic blocking path, and the two interleave freely in one run.
+// Both forms, at every worker count, produce bit-for-bit identical
+// results — the golden-digest and differential-oracle suites pin this.
+func (e *Engine) RunProgram(p Program) (*Result, error) {
 	sc := grab(e.n)
 	e.nodes = sc.nodes
+	e.ctxs = sc.ctxs
 	e.wake = make(chan struct{}, 1)
 	e.round = 0
 	e.aborted = false
@@ -344,38 +375,57 @@ func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
 
 	e.initShards(sc)
 	e.senderOut = sc.senderOut
-	for i := range e.nodes {
-		if e.nodes[i].resume == nil {
-			e.nodes[i].resume = make(chan []Incoming, 1)
-		}
-	}
-	// The barrier must be armed before any node can arrive at it.
-	e.arrivals.Store(int64(e.n))
-	// All node goroutines run one shared closure and claim their id from
-	// a counter: `go nodeMain()` on a pre-built func value allocates
-	// nothing per spawn, where `go runNode(ctx, program)` would heap-
-	// allocate a closure per node. Ids are claimed exactly once, so
-	// which OS-level goroutine serves which node is irrelevant.
-	var nextID atomic.Int64
-	ctxs := sc.ctxs
-	nodeMain := func() {
-		id := int(nextID.Add(1) - 1)
-		runNode(newCtx(e, ctxs, id), program)
-	}
-	for i := 0; i < e.n; i++ {
-		go nodeMain()
-	}
 	e.startPool()
 	defer e.stopPool()
 
+	// activeG counts the live goroutine-form nodes — the population of
+	// the arrival barrier. Stepped nodes never arrive: the delivery
+	// phases drive them inline, so phase completion is their barrier.
+	var activeG int
+	if f, ok := p.(Func); ok {
+		// Fast path for the homogeneous goroutine form: no bind phase —
+		// each node builds its Ctx on its own goroutine, parallelizing
+		// setup across nodes regardless of the worker count.
+		program := (func(*Ctx))(f)
+		for i := range e.nodes {
+			if e.nodes[i].resume == nil {
+				e.nodes[i].resume = make(chan []Incoming, 1)
+			}
+		}
+		// The barrier must be armed before any node can arrive at it.
+		e.arrivals.Store(int64(e.n))
+		// All node goroutines run one shared closure and claim their id from
+		// a counter: `go nodeMain()` on a pre-built func value allocates
+		// nothing per spawn, where `go runNode(ctx, program)` would heap-
+		// allocate a closure per node. Ids are claimed exactly once, so
+		// which OS-level goroutine serves which node is irrelevant.
+		var nextID atomic.Int64
+		ctxs := sc.ctxs
+		nodeMain := func() {
+			id := int(nextID.Add(1) - 1)
+			runNode(newCtx(e, ctxs, id), program)
+		}
+		for i := 0; i < e.n; i++ {
+			go nodeMain()
+		}
+		activeG = e.n
+	} else {
+		activeG = e.bindNodes(sc, p)
+	}
+
 	active := e.n
 	for active > 0 {
-		// Wait for the barrier: the last arriving node performs the one
-		// wake. Every node's pre-arrival writes (its senderOut entry, its
-		// done/nodeErr slots, ticks, outputs, memory counters) happen
-		// before this receive via the arrival counter, so the phases may
-		// read them freely.
-		<-e.wake
+		// Wait for the barrier: the last arriving goroutine node performs
+		// the one wake. Every node's pre-arrival writes (its senderOut
+		// entry, its done/nodeErr slots, ticks, outputs, memory counters)
+		// happen before this receive via the arrival counter, so the
+		// phases may read them freely. Stepped nodes published theirs
+		// inside the previous phase (or the bind phase), which completed
+		// before this iteration; a pure-step round skips the wait — and
+		// every channel operation — entirely.
+		if activeG > 0 {
+			<-e.wake
+		}
 		// The route phase also performs the barrier bookkeeping the old
 		// serial collect loop did — poisoning retired inboxes, counting
 		// newly finished nodes and harvesting their errors per shard — so
@@ -390,6 +440,8 @@ func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
 		for _, st := range e.shards {
 			active -= st.newlyFinished
 			st.newlyFinished = 0
+			activeG -= st.newlyFinishedG
+			st.newlyFinishedG = 0
 			if st.err != nil {
 				if nodeErr == nil {
 					nodeErr = st.err
@@ -416,8 +468,9 @@ func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
 		if e.strict {
 			// Strict mode needs every shard's accounting before the abort
 			// decision, so delivery and resume are separate phases. The
-			// barrier is re-armed after the abort decision and before the
-			// first node is resumed.
+			// barrier is re-armed — with the goroutine-node population
+			// only — after the abort decision and before the first node
+			// is resumed or stepped.
 			e.runPhase(phaseAccount)
 			e.mergeRound(r, &violations)
 			if len(violations) > 0 {
@@ -426,14 +479,15 @@ func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
 					e.runErr = fmt.Errorf("%w: %v", ErrMemory, violations[0])
 				}
 			}
-			e.arrivals.Store(int64(active))
+			e.arrivals.Store(int64(activeG))
 			e.runPhase(phaseResume)
 		} else {
-			// Fused fast path: each shard resumes its own nodes as soon as
-			// their inboxes are ordered and accounted — no second barrier.
-			// Re-arm before the phase starts: resumed nodes may reach
-			// their next Tick while other shards are still accounting.
-			e.arrivals.Store(int64(active))
+			// Fused fast path: each shard resumes (or steps) its own nodes
+			// as soon as their inboxes are ordered and accounted — no
+			// second barrier. Re-arm before the phase starts: resumed
+			// goroutine nodes may reach their next Tick while other shards
+			// are still accounting.
+			e.arrivals.Store(int64(activeG))
 			e.runPhase(phaseAccountResume)
 			e.mergeRound(r, &violations)
 		}
@@ -458,10 +512,12 @@ func (e *Engine) Run(program func(*Ctx)) (*Result, error) {
 			res.Rounds = rt.ticks
 		}
 	}
-	// Every node has terminated (its final barrier arrival is its last
-	// touch of run state), so the scratch can go back to the pool.
+	// Every node has terminated (a goroutine node's final barrier
+	// arrival is its last touch of run state; a stepped node's last
+	// touch was inside a completed phase), so the scratch can go back
+	// to the pool.
 	sc.release()
-	e.nodes, e.senderOut, e.shards = nil, nil, nil
+	e.nodes, e.ctxs, e.senderOut, e.shards = nil, nil, nil, nil
 	return res, e.runErr
 }
 
