@@ -1,9 +1,18 @@
-# Developer entry points. CI runs the equivalent steps directly; these
-# targets exist for local use and for regenerating committed artifacts.
+# Developer entry points. CI runs `make lint` for the static checks and
+# the remaining steps directly; these targets exist for local use and
+# for regenerating committed artifacts.
 
 BENCH_RECORD ?= BENCH_PR4.json
 FUZZTIME ?= 30s
 MUVET ?= bin/muvet
+
+# Everything the vettool binary is built from: the driver, the analyzer
+# suite, and the shared CFG/dataflow layer. The binary is a real file
+# target over these, so repeated `make lint` runs (and CI restoring
+# bin/muvet from cache) skip the rebuild when nothing changed.
+MUVET_SRC := $(wildcard cmd/muvet/*.go \
+	internal/tools/muvet/*.go \
+	internal/tools/muvet/analysis/*.go)
 
 .PHONY: test lint muvet bench bench-record diff-harness cover
 
@@ -11,15 +20,18 @@ test:
 	go build ./...
 	go test ./...
 
-# Build the repo's vettool (five analyzers enforcing the determinism,
-# inbox-aliasing, RNG-derivation, hot-path-allocation and record-purity
-# contracts — see internal/tools/muvet and DESIGN.md).
-muvet:
+# Build the repo's vettool (eight analyzers enforcing the determinism,
+# inbox-aliasing, RNG-derivation, hot-path-allocation, record-purity and
+# step-contract — stepblock, stepalias, ctxretain — rules; see
+# internal/tools/muvet and DESIGN.md).
+$(MUVET): $(MUVET_SRC)
 	go build -o $(MUVET) ./cmd/muvet
+
+muvet: $(MUVET)
 
 # Static contract enforcement: gofmt, stock vet, the muvet suite (over
 # the default and simdebug build tags), and staticcheck when installed.
-lint: muvet
+lint: $(MUVET)
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 	go vet ./...

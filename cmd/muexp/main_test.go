@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildMuexp compiles the command once into the test's temp dir so the
+// CLI contract (flag validation, exit codes, stderr wording) is checked
+// against the real binary, not a re-implementation.
+func buildMuexp(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "muexp")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestEngineModeValidation pins the -enginemode usage contract: an
+// invalid value is a usage error (exit 2) whose message lists the valid
+// choices, and both valid values pass flag validation.
+func TestEngineModeValidation(t *testing.T) {
+	bin := buildMuexp(t)
+
+	out, err := exec.Command(bin, "-enginemode", "fibers").CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("err = %v, want an exit error", err)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Errorf("exit code = %d, want 2 (usage error)", code)
+	}
+	msg := string(out)
+	if !strings.Contains(msg, `unknown -enginemode "fibers"`) {
+		t.Errorf("stderr = %q, want the rejected value quoted", msg)
+	}
+	if !strings.Contains(msg, "valid: step, goroutine") {
+		t.Errorf("stderr = %q, want the valid choices listed", msg)
+	}
+
+	// Both valid modes must get past flag validation. A tiny -engine
+	// workload keeps the run fast while exercising the mode for real.
+	for _, mode := range []string{"step", "goroutine"} {
+		out, err := exec.Command(bin,
+			"-enginemode", mode, "-engine", "cycle:n=16", "-enginerounds", "1",
+			"-simworkers", "1").CombinedOutput()
+		if err != nil {
+			t.Errorf("-enginemode %s: %v\n%s", mode, err, out)
+		}
+	}
+}

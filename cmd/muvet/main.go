@@ -1,8 +1,9 @@
 // Command muvet is the repo's static contract checker: a vet tool
-// running the five muvet analyzers (nodeterm, inboxalias, shardrng,
-// hotalloc, recordpurity) over the engine, reference engine, record
-// layer and harness. See internal/tools/muvet for the contracts and
-// the //muvet:allow / //muvet:hotpath annotation grammar.
+// running the eight muvet analyzers (nodeterm, inboxalias, shardrng,
+// hotalloc, recordpurity, stepblock, stepalias, ctxretain) over the
+// engine, reference engine, record layer and harness. See
+// internal/tools/muvet for the contracts and the //muvet:allow /
+// //muvet:hotpath annotation grammar.
 //
 // Usage:
 //
@@ -36,7 +37,9 @@ import (
 
 // version participates in the go command's action cache key: bump it
 // when analyzer behavior changes so cached clean verdicts are retired.
-const version = "muvet-1.0.0"
+// 2.0.0: CFG/dataflow core, step-contract analyzers (stepblock,
+// stepalias, ctxretain), inboxalias and hotalloc rebased onto the CFG.
+const version = "muvet-2.0.0"
 
 func main() {
 	args := os.Args[1:]

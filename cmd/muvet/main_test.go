@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"mucongest/internal/tools/muvet"
+)
+
+// TestRegistry pins the analyzer registry the vet driver runs: exactly
+// these eight analyzers, in this order, each with a unique name and a
+// doc line. Adding or removing an analyzer must update this list (and
+// bump the driver version so vet's action cache retires stale clean
+// verdicts).
+func TestRegistry(t *testing.T) {
+	want := []string{
+		"nodeterm",
+		"inboxalias",
+		"shardrng",
+		"hotalloc",
+		"recordpurity",
+		"stepblock",
+		"stepalias",
+		"ctxretain",
+	}
+	suite := muvet.Suite()
+	if len(suite) != len(want) {
+		t.Fatalf("Suite() registers %d analyzers, want %d", len(suite), len(want))
+	}
+	seen := map[string]bool{}
+	for i, a := range suite {
+		if a.Name != want[i] {
+			t.Errorf("Suite()[%d].Name = %q, want %q", i, a.Name, want[i])
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+		if a.Run == nil {
+			t.Errorf("analyzer %q has no Run", a.Name)
+		}
+	}
+}
+
+// TestVersionBumped guards the action-cache contract: the driver
+// version string must identify this tool and carry the major version
+// of the current suite (v2 added the CFG core and the step-contract
+// analyzers).
+func TestVersionBumped(t *testing.T) {
+	if !strings.HasPrefix(version, "muvet-2.") {
+		t.Fatalf("version = %q, want a muvet-2.x version for the eight-analyzer suite", version)
+	}
+}

@@ -336,6 +336,7 @@ func TestStepMaxRoundsGuard(t *testing.T) {
 type tickingStep struct{}
 
 func (tickingStep) Step(c *Ctx, in []Incoming) bool {
+	//muvet:allow stepblock(fixture proving the runtime Tick-in-Step guard stepblock enforces statically)
 	c.Tick()
 	return true
 }

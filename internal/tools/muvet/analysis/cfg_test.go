@@ -1,0 +1,328 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// parseFunc typechecks one source file and returns the named function's
+// declaration plus the type info.
+func parseFunc(t *testing.T, src, name string) (*ast.FuncDecl, *types.Info, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Name.Name == name {
+			return fn, info, fset
+		}
+	}
+	t.Fatalf("no func %s", name)
+	return nil, nil, nil
+}
+
+func TestCFGLoopBackEdge(t *testing.T) {
+	src := `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}`
+	fn, _, _ := parseFunc(t, src, "f")
+	cfg := BuildCFG(fn.Body)
+	// The loop head must have at least two predecessors: the entry path
+	// and the back edge from the body (via the post block).
+	var head *Block
+	for _, b := range cfg.Blocks {
+		if len(b.Preds) >= 2 && len(b.Succs) == 2 {
+			head = b
+			break
+		}
+	}
+	if head == nil {
+		t.Fatalf("no loop head with a back edge found; blocks: %d", len(cfg.Blocks))
+	}
+	// Exactly one return edge into Exit.
+	if len(cfg.Exit.Preds) != 1 {
+		t.Errorf("Exit has %d preds, want 1", len(cfg.Exit.Preds))
+	}
+}
+
+func TestCFGIfElseJoin(t *testing.T) {
+	src := `package p
+func f(p bool) int {
+	x := 1
+	if p {
+		x = 2
+	} else {
+		x = 3
+	}
+	return x
+}`
+	fn, _, _ := parseFunc(t, src, "f")
+	cfg := BuildCFG(fn.Body)
+	// The join block (holding the return) must have two predecessors.
+	joins := 0
+	for _, b := range cfg.Blocks {
+		if b != cfg.Exit && len(b.Preds) == 2 {
+			joins++
+		}
+	}
+	if joins != 1 {
+		t.Errorf("found %d two-pred join blocks, want 1", joins)
+	}
+}
+
+func TestCFGReturnTerminates(t *testing.T) {
+	src := `package p
+func f(p bool) int {
+	if p {
+		return 1
+	}
+	return 2
+}`
+	fn, _, _ := parseFunc(t, src, "f")
+	cfg := BuildCFG(fn.Body)
+	if len(cfg.Exit.Preds) != 2 {
+		t.Errorf("Exit has %d preds, want 2 (one per return)", len(cfg.Exit.Preds))
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	src := `package p
+func f(p bool) int {
+	if p {
+		panic("boom")
+	}
+	return 2
+}`
+	fn, _, _ := parseFunc(t, src, "f")
+	cfg := BuildCFG(fn.Body)
+	if len(cfg.Exit.Preds) != 2 {
+		t.Errorf("Exit has %d preds, want 2 (panic + return)", len(cfg.Exit.Preds))
+	}
+}
+
+func TestCFGDefersCollected(t *testing.T) {
+	src := `package p
+func g() {}
+func f() {
+	defer g()
+	defer g()
+}`
+	fn, _, _ := parseFunc(t, src, "f")
+	cfg := BuildCFG(fn.Body)
+	if len(cfg.Defers) != 2 {
+		t.Errorf("collected %d defers, want 2", len(cfg.Defers))
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	src := `package p
+func f(n int) int {
+	s := 0
+	switch n {
+	case 0:
+		s = 1
+		fallthrough
+	case 1:
+		s = 2
+	default:
+		s = 3
+	}
+	return s
+}`
+	fn, _, _ := parseFunc(t, src, "f")
+	cfg := BuildCFG(fn.Body)
+	// The case-1 block must have two preds: the switch head and the
+	// fallthrough edge from case 0.
+	found := false
+	for _, b := range cfg.Blocks {
+		if len(b.Preds) == 2 {
+			for _, n := range b.Nodes {
+				if bl, ok := n.(*ast.BasicLit); ok && bl.Value == "1" {
+					found = true
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no case block with head+fallthrough predecessors found")
+	}
+}
+
+func TestCFGLabeledBreak(t *testing.T) {
+	src := `package p
+func f(n int) int {
+	s := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 3 {
+				break outer
+			}
+			s++
+		}
+	}
+	return s
+}`
+	fn, _, _ := parseFunc(t, src, "f")
+	cfg := BuildCFG(fn.Body)
+	// Must build without panicking and keep the return reachable: the
+	// Exit block has the single return edge.
+	if len(cfg.Exit.Preds) != 1 {
+		t.Errorf("Exit has %d preds, want 1", len(cfg.Exit.Preds))
+	}
+}
+
+func TestCFGFuncLitNotDescended(t *testing.T) {
+	src := `package p
+func f() func() int {
+	x := 1
+	g := func() int { return x + 1 }
+	return g
+}`
+	fn, _, _ := parseFunc(t, src, "f")
+	cfg := BuildCFG(fn.Body)
+	// The literal's inner return must not create an Exit edge: only the
+	// outer return does.
+	if len(cfg.Exit.Preds) != 1 {
+		t.Errorf("Exit has %d preds, want 1 (literal body must not leak)", len(cfg.Exit.Preds))
+	}
+}
+
+func TestDominators(t *testing.T) {
+	src := `package p
+func f(p bool) int {
+	x := 0
+	if p {
+		x = 1
+	}
+	return x
+}`
+	fn, _, _ := parseFunc(t, src, "f")
+	cfg := BuildCFG(fn.Body)
+	idom := cfg.Dominators()
+	entry := cfg.Entry()
+	// Every reachable block is (transitively) dominated by the entry.
+	for _, b := range cfg.Blocks {
+		if len(b.Preds) == 0 && b != entry {
+			continue // unreachable
+		}
+		if !Dominated(idom, b, entry) {
+			t.Errorf("block %d not dominated by entry", b.Index)
+		}
+	}
+	// The then-branch block does not dominate the join.
+	var thenB *Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				if bl, ok := as.Rhs[0].(*ast.BasicLit); ok && bl.Value == "1" {
+					thenB = b
+				}
+			}
+		}
+	}
+	if thenB == nil {
+		t.Fatal("then block not found")
+	}
+	var ret *Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok {
+				ret = b
+			}
+		}
+	}
+	if ret == nil {
+		t.Fatal("return block not found")
+	}
+	if Dominated(idom, ret, thenB) {
+		t.Errorf("return block must not be dominated by the conditional then-branch")
+	}
+}
+
+// TestForwardLoopFact pins the whole point of the CFG rebase: a fact
+// generated before a loop and "invalidated" inside it reaches the
+// loop's own earlier statements via the back edge — something a linear
+// position scan cannot see.
+func TestForwardLoopFact(t *testing.T) {
+	src := `package p
+func f(n int) int {
+	x := 1
+	use := 0
+	for i := 0; i < n; i++ {
+		use += x
+		x = 0
+	}
+	return use
+}`
+	fn, info, _ := parseFunc(t, src, "f")
+	cfg := BuildCFG(fn.Body)
+
+	const tracked FlowState = 1
+	const killed FlowState = 2
+	eval := func(f Facts, e ast.Expr) FlowState {
+		switch e := e.(type) {
+		case *ast.BasicLit:
+			if e.Value == "1" {
+				return tracked
+			}
+			return killed
+		case *ast.Ident:
+			if obj := ObjOf(info, e); obj != nil {
+				return f[obj]
+			}
+		}
+		return 0
+	}
+	in := cfg.Forward(func(b *Block, f Facts) Facts {
+		for _, n := range b.Nodes {
+			ApplyAssign(info, f, n, eval)
+		}
+		return f
+	})
+
+	// Find the block containing `use += x` and check that x's entry
+	// fact there is tracked|killed: tracked from the first iteration,
+	// killed from the back edge.
+	var xObj types.Object
+	var useBlock *Block
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ADD_ASSIGN {
+				continue
+			}
+			useBlock = b
+			if id, ok := as.Rhs[0].(*ast.Ident); ok {
+				xObj = ObjOf(info, id)
+			}
+		}
+	}
+	if useBlock == nil || xObj == nil {
+		t.Fatal("use block or x object not found")
+	}
+	got := in[useBlock][xObj]
+	if got != tracked|killed {
+		t.Errorf("x fact at loop use = %b, want %b (tracked joined with killed over the back edge)", got, tracked|killed)
+	}
+}

@@ -22,12 +22,22 @@ import (
 //     allocation);
 //   - explicit conversions to an interface type (boxing).
 //
-// Two cold sub-paths are recognized and exempt without annotation:
-// anything that only feeds a panic call (abort paths run once), and
-// anything inside an if whose condition reads cap(...) (the
-// grow-on-demand warmup idiom — it stops allocating once buffers reach
-// steady-state capacity). Everything else needs
-// //muvet:allow hotalloc(reason) with a justification.
+// Cold sub-paths are exempt without annotation, and computed on the
+// function's control-flow graph rather than by syntactic enclosure:
+//
+//   - blocks dominated by the THEN branch of an if whose condition
+//     reads cap(...) — the grow-on-demand warmup idiom, which stops
+//     allocating once buffers reach steady-state capacity. The else
+//     branch and the join stay hot: only the guarded growth itself is
+//     exempt (the first-generation pass exempted the whole if,
+//     silently passing allocations in the else arm);
+//   - blocks from which every path ends in panic (abort paths run at
+//     most once). This subsumes the old panic-argument exemption and
+//     extends it to the build-the-message-then-panic shape, which the
+//     old pass flagged.
+//
+// Everything else needs //muvet:allow hotalloc(reason) with a
+// justification.
 var HotAlloc = &analysis.Analyzer{
 	Name: "hotalloc",
 	Doc:  "//muvet:hotpath functions must not allocate on the steady-state path",
@@ -53,19 +63,136 @@ func runHotAlloc(pass *analysis.Pass) error {
 	return nil
 }
 
-// checkHotFunc walks one hot-path function keeping the enclosing-node
-// stack, so each allocating construct can be tested for the two cold
-// exemptions (panic argument, cap-guarded warmup block).
+// checkHotFunc builds the function's CFG, marks the cold blocks, and
+// runs the allocating-construct checks over every hot block's nodes.
 func checkHotFunc(pass *analysis.Pass, fn *ast.FuncDecl, report func(token.Pos, string, ...any)) {
+	cfg := analysis.BuildCFG(fn.Body)
+	cold := coldBlocks(fn.Body, cfg)
+	for _, b := range cfg.Blocks {
+		if cold[b] {
+			continue
+		}
+		for _, n := range b.Nodes {
+			checkHotNode(pass, fn, n, report)
+		}
+	}
+}
+
+// coldBlocks computes the blocks off the steady-state path: those on
+// which every outgoing path panics, and those dominated by the then
+// branch of a cap-reading if (warmup growth).
+func coldBlocks(body *ast.BlockStmt, cfg *analysis.CFG) map[*analysis.Block]bool {
+	cold := map[*analysis.Block]bool{}
+
+	// Backwards all-paths-panic fixpoint. A block ending in panic seeds
+	// the set; a block whose every successor is doomed joins it.
+	for _, b := range cfg.Blocks {
+		if endsInPanic(b) {
+			cold[b] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.Blocks {
+			if cold[b] || b == cfg.Exit || len(b.Succs) == 0 {
+				continue
+			}
+			doomed := true
+			for _, s := range b.Succs {
+				if !cold[s] {
+					doomed = false
+					break
+				}
+			}
+			if doomed {
+				cold[b] = true
+				changed = true
+			}
+		}
+	}
+
+	// Warmup growth: every block dominated by the then-successor of a
+	// cap-guard if. Dominance (rather than lexical enclosure) scopes the
+	// exemption to exactly the guarded branch.
+	var capConds []ast.Expr
+	analysis.Inspect(body, func(n ast.Node) bool {
+		if ifs, ok := n.(*ast.IfStmt); ok && condReadsCap(ifs.Cond) {
+			capConds = append(capConds, ifs.Cond)
+		}
+		return true
+	})
+	if len(capConds) > 0 {
+		idom := cfg.Dominators()
+		for _, cond := range capConds {
+			head := blockOf(cfg, cond)
+			if head == nil || len(head.Succs) == 0 {
+				continue
+			}
+			// Builder invariant: the first successor added to the block
+			// holding an if condition is the then branch.
+			thenB := head.Succs[0]
+			for _, b := range cfg.Blocks {
+				if analysis.Dominated(idom, b, thenB) {
+					cold[b] = true
+				}
+			}
+		}
+	}
+	return cold
+}
+
+// endsInPanic reports whether the block's last node is a direct
+// panic(...) statement.
+func endsInPanic(b *analysis.Block) bool {
+	if len(b.Nodes) == 0 {
+		return false
+	}
+	es, ok := b.Nodes[len(b.Nodes)-1].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+// blockOf finds the block holding a given node.
+func blockOf(cfg *analysis.CFG, n ast.Node) *analysis.Block {
+	for _, b := range cfg.Blocks {
+		for _, m := range b.Nodes {
+			if m == n {
+				return b
+			}
+		}
+	}
+	return nil
+}
+
+// checkHotNode walks one block node keeping the enclosing-node stack,
+// so constructs nested in a panic argument (inside function literals,
+// which the CFG does not model) stay exempt. A RangeStmt node carries
+// its whole statement in the loop-head block; its Body belongs to other
+// blocks and is skipped here.
+func checkHotNode(pass *analysis.Pass, fn *ast.FuncDecl, root ast.Node, report func(token.Pos, string, ...any)) {
 	info := pass.TypesInfo
+	var rangeBody *ast.BlockStmt
+	if rs, ok := root.(*ast.RangeStmt); ok {
+		rangeBody = rs.Body
+	}
 	var stack []ast.Node
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
+	ast.Inspect(root, func(n ast.Node) bool {
 		if n == nil {
 			stack = stack[:len(stack)-1]
 			return true
 		}
+		if rangeBody != nil && n == ast.Node(rangeBody) {
+			return false
+		}
 		stack = append(stack, n)
-		if coldContext(stack) {
+		if inPanicArg(stack) {
 			return true
 		}
 		switch n := n.(type) {
@@ -148,18 +275,12 @@ func isFreshSlice(e ast.Expr) bool {
 	return false
 }
 
-// coldContext reports whether the innermost enclosing constructs mark
-// the current node as off the steady-state path: a panic argument, or
-// a block guarded by an if condition reading cap(...).
-func coldContext(stack []ast.Node) bool {
+// inPanicArg reports whether the enclosing-node stack places the
+// current node inside a panic(...) argument.
+func inPanicArg(stack []ast.Node) bool {
 	for i, n := range stack {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" && i < len(stack)-1 {
-				return true
-			}
-		case *ast.IfStmt:
-			if condReadsCap(n.Cond) {
+		if call, ok := n.(*ast.CallExpr); ok && i < len(stack)-1 {
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
 				return true
 			}
 		}

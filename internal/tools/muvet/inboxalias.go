@@ -16,7 +16,7 @@ import (
 // turns the same violations into runtime sentinels.
 //
 // Flagged escapes of an inbox value (the Tick result or a variable
-// bound to it):
+// bound to it, directly or through local copies):
 //
 //   - assignment into a struct field, or into a variable declared
 //     outside the function holding the inbox (package var or an outer
@@ -27,10 +27,15 @@ import (
 //   - returning the inbox;
 //   - capturing the inbox variable in a nested function literal.
 //
-// Additionally, any read of an inbox variable after a later Tick/Idle
-// call on the same context — including reads reached by a loop back
-// edge when the inbox was bound before the loop — is a
-// use-after-invalidation.
+// Use-after-invalidation — reading an inbox variable after a later
+// Tick/Idle call on the same context — is computed as a reaching fact
+// over the function's control-flow graph (analysis.BuildCFG): a
+// binding that flows around a loop back edge into a yield is stale on
+// the next iteration even when the yield sits textually after the use,
+// and a yield on a branch that returns before the use does not poison
+// the fall-through path. (The first-generation linear scan approximated
+// both with source positions: it missed in-loop bindings going stale
+// and flagged yields on paths that could not reach the use.)
 //
 // Suppress deliberate violations (e.g. the simdebug poisoning test)
 // with //muvet:allow inboxalias(reason).
@@ -42,10 +47,13 @@ var InboxAlias = &analysis.Analyzer{
 
 func runInboxAlias(pass *analysis.Pass) error {
 	allow := buildAllowlist(pass)
+	reported := map[token.Pos]bool{}
 	report := func(pos token.Pos, format string, args ...any) {
-		if !allow.allowed(pass.Fset, pos, "inboxalias") {
-			pass.Reportf(pos, format, args...)
+		if reported[pos] || allow.allowed(pass.Fset, pos, "inboxalias") {
+			return
 		}
+		reported[pos] = true
+		pass.Reportf(pos, format, args...)
 	}
 	for _, f := range pass.Files {
 		var frames []*ast.BlockStmt
@@ -120,19 +128,35 @@ func sameCtx(a, b types.Object) bool {
 	return a == b
 }
 
-// inboxEvent is one assignment to a tracked variable: a fresh Tick
-// binding or an overwrite that retires the old value.
-type inboxEvent struct {
-	pos    token.Pos
-	isTick bool
-	recv   types.Object // Tick receiver for isTick events
+// Inbox fact bits: FRESH marks a live binding to the latest Tick
+// result; STALE marks a binding whose buffer a later yield on the same
+// context has retired (on at least one path).
+const (
+	inboxFresh analysis.FlowState = 1 << iota
+	inboxStale
+)
+
+// inboxFrame carries the per-frame state shared by the transfer
+// function and the reporting walk.
+type inboxFrame struct {
+	pass *analysis.Pass
+	body *ast.BlockStmt
+	// bindRecv remembers, per tracked variable, the receiver of the
+	// Tick call that bound it (flow-insensitively; used only to scope
+	// invalidation to the same context).
+	bindRecv map[types.Object]types.Object
+	// bindEnds are the source positions (assignment ends) at which each
+	// variable was bound to a Tick result — the textual record used for
+	// closure-capture detection and diagnostic wording.
+	bindEnds map[types.Object][]token.Pos
+	// yields are every Tick/Idle call site of the frame, in source
+	// order, used to word stale-use diagnostics.
+	yields []inboxYield
 }
 
-// inboxYield is one Tick/Idle call site in the frame.
 type inboxYield struct {
-	pos     token.Pos
-	recv    types.Object
-	rebinds types.Object // variable this yield's result is assigned to, if any
+	pos  token.Pos
+	recv types.Object
 }
 
 // checkInboxFrame analyzes one function body. Nested function literals
@@ -141,11 +165,15 @@ type inboxYield struct {
 // escapes.
 func checkInboxFrame(pass *analysis.Pass, body *ast.BlockStmt, report func(token.Pos, string, ...any)) {
 	info := pass.TypesInfo
-	events := map[types.Object][]inboxEvent{}
-	var yields []inboxYield
+	fr := &inboxFrame{
+		pass:     pass,
+		body:     body,
+		bindRecv: map[types.Object]types.Object{},
+		bindEnds: map[types.Object][]token.Pos{},
+	}
 
-	// skipOuterLit returns true when pos sits inside a function literal
-	// nested in this frame.
+	// Textual pre-pass at this frame's nesting level: record bind sites
+	// and yield sites (for diagnostics), and nested-literal captures.
 	var litRanges [][2]token.Pos
 	ast.Inspect(body, func(n ast.Node) bool {
 		if lit, ok := n.(*ast.FuncLit); ok {
@@ -162,203 +190,227 @@ func checkInboxFrame(pass *analysis.Pass, body *ast.BlockStmt, report func(token
 		}
 		return false
 	}
-
-	// Pass 1 (source order): record Tick bindings, overwrites of bound
-	// variables, and yield sites — all at this frame's nesting level.
-	ast.Inspect(body, func(n ast.Node) bool {
-		if n == nil || inNestedLit(n.Pos()) {
-			return n == nil || !inNestedLit(n.Pos())
-		}
+	analysis.Inspect(body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.AssignStmt:
-			if len(n.Lhs) == len(n.Rhs) {
-				for i, rhs := range n.Rhs {
-					id, isID := n.Lhs[i].(*ast.Ident)
-					if !isID || id.Name == "_" {
-						continue
-					}
-					obj := objOf(info, id)
-					if obj == nil {
-						continue
-					}
-					if recv, ok := isTickCall(info, rhs); ok {
-						events[obj] = append(events[obj], inboxEvent{pos: n.End(), isTick: true, recv: recv})
-					} else if len(events[obj]) > 0 {
-						events[obj] = append(events[obj], inboxEvent{pos: n.End()})
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				recv, ok := isTickCall(info, ast.Unparen(rhs))
+				if !ok {
+					continue
+				}
+				if id, isID := n.Lhs[i].(*ast.Ident); isID && id.Name != "_" {
+					if obj := objOf(info, id); obj != nil {
+						fr.bindRecv[obj] = recv
+						fr.bindEnds[obj] = append(fr.bindEnds[obj], n.End())
 					}
 				}
 			}
 		case *ast.CallExpr:
 			if recv, ok := isYieldCall(info, n); ok {
-				yields = append(yields, inboxYield{pos: n.Pos(), recv: recv, rebinds: yieldRebind(info, body, n)})
+				fr.yields = append(fr.yields, inboxYield{pos: n.Pos(), recv: recv})
 			}
 		}
 		return true
 	})
-	if len(events) == 0 && len(yields) == 0 {
-		// Still check direct escapes of unbound Tick results below.
-	}
 
-	latestBind := func(obj types.Object, pos token.Pos) (inboxEvent, bool) {
-		evs := events[obj]
-		var last inboxEvent
-		ok := false
-		for _, e := range evs {
-			if e.pos <= pos {
-				last, ok = e, true
-			}
-		}
-		return last, ok && last.isTick
-	}
-	// inboxValue reports whether expr is, at its position, an inbox: a
-	// direct Tick call or a variable whose latest binding is one.
-	inboxValue := func(e ast.Expr) (types.Object, bool) {
-		e = ast.Unparen(e)
-		if _, ok := isTickCall(info, e); ok {
-			return nil, true
-		}
-		if id, ok := e.(*ast.Ident); ok {
-			obj := objOf(info, id)
-			if obj == nil {
-				return nil, false
-			}
-			if _, bound := latestBind(obj, e.Pos()); bound {
-				return obj, true
-			}
-		}
-		return nil, false
-	}
-	declaredOutsideFrame := func(obj types.Object) bool {
-		return obj != nil && (obj.Pos() < body.Pos() || obj.Pos() > body.End())
-	}
-
-	// Loop spans for the back-edge rule.
-	var loops [][2]token.Pos
+	// Capture escapes: a read of a frame-bound inbox variable inside a
+	// nested literal outlives the round.
 	ast.Inspect(body, func(n ast.Node) bool {
-		switch n.(type) {
-		case *ast.ForStmt, *ast.RangeStmt:
-			loops = append(loops, [2]token.Pos{n.Pos(), n.End()})
-		case *ast.FuncLit:
-			return false
+		id, ok := n.(*ast.Ident)
+		if !ok || !inNestedLit(id.Pos()) {
+			return true
+		}
+		obj := objOf(info, id)
+		if obj == nil {
+			return true
+		}
+		for _, bindEnd := range fr.bindEnds[obj] {
+			if bindEnd <= id.Pos() {
+				report(id.Pos(), "inbox variable %s captured by a nested function literal: the closure may outlive the round (copy the messages instead)", id.Name)
+				break
+			}
 		}
 		return true
 	})
 
-	// Pass 2: escapes and use-after-invalidation.
-	ast.Inspect(body, func(n ast.Node) bool {
-		if n == nil {
-			return false
+	if len(fr.bindEnds) == 0 {
+		// No bound inbox variables: only direct Tick-result escapes are
+		// possible; the reporting walk below still covers them, so run
+		// it over trivially empty facts.
+	}
+
+	cfg := analysis.BuildCFG(body)
+	eval := fr.evalInbox
+	in := cfg.Forward(func(b *analysis.Block, f analysis.Facts) analysis.Facts {
+		for _, n := range b.Nodes {
+			fr.applyNode(f, n, nil)
 		}
-		switch n := n.(type) {
-		case *ast.AssignStmt:
-			if inNestedLit(n.Pos()) {
+		return f
+	})
+
+	// Reporting walk: re-run each block's transfer from its fixpoint
+	// entry facts, interleaving the escape and stale-use checks in
+	// execution order.
+	for _, b := range cfg.Blocks {
+		f := in[b].Clone()
+		for _, n := range b.Nodes {
+			fr.checkEscapes(f, n, report)
+			fr.applyNode(f, n, report)
+		}
+	}
+	_ = eval
+}
+
+// evalInbox computes the abstract state of an expression: a direct Tick
+// call is a fresh inbox; an identifier carries its variable's fact.
+func (fr *inboxFrame) evalInbox(f analysis.Facts, e ast.Expr) analysis.FlowState {
+	e = ast.Unparen(e)
+	if _, ok := isTickCall(fr.pass.TypesInfo, e); ok {
+		return inboxFresh
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := objOf(fr.pass.TypesInfo, id); obj != nil {
+			return f[obj]
+		}
+	}
+	return 0
+}
+
+// applyNode advances the facts over one block node: yields and ident
+// reads are processed in source-position order (mirroring evaluation
+// order within the statement), then the node's assignment effect is
+// applied. When report is non-nil, stale reads are diagnosed.
+func (fr *inboxFrame) applyNode(f analysis.Facts, n ast.Node, report func(token.Pos, string, ...any)) {
+	info := fr.pass.TypesInfo
+
+	// Idents that are plain assignment targets are writes, not reads.
+	writes := map[*ast.Ident]bool{}
+	analysis.Inspect(n, func(m ast.Node) bool {
+		if asg, ok := m.(*ast.AssignStmt); ok {
+			for _, lhs := range asg.Lhs {
+				if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+					writes[id] = true
+				}
+			}
+		}
+		return true
+	})
+
+	type event struct {
+		pos   token.Pos
+		yield types.Object // receiver, for yield events
+		isY   bool
+		id    *ast.Ident // for read events
+	}
+	var events []event
+	analysis.Inspect(n, func(m ast.Node) bool {
+		if recv, ok := isYieldCall(info, m); ok {
+			events = append(events, event{pos: m.Pos(), yield: recv, isY: true})
+		}
+		if id, ok := m.(*ast.Ident); ok && !writes[id] {
+			events = append(events, event{pos: id.Pos(), id: id})
+		}
+		return true
+	})
+	// The AST walk is already in source order for siblings; a stable
+	// sort by position makes it exact for nested shapes.
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].pos < events[j-1].pos; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+	for _, ev := range events {
+		if ev.isY {
+			for obj, st := range f {
+				if st&inboxFresh != 0 && sameCtx(fr.bindRecv[obj], ev.yield) {
+					f[obj] = (st &^ inboxFresh) | inboxStale
+				}
+			}
+			continue
+		}
+		if report == nil {
+			continue
+		}
+		obj := objOf(info, ev.id)
+		if obj == nil || f[obj]&inboxStale == 0 {
+			continue
+		}
+		if fr.linearYieldBetween(obj, ev.pos) {
+			report(ev.pos, "use of inbox %s after a later Tick: the engine reused its buffer at that barrier (bind a fresh Tick result or copy before ticking)", ev.id.Name)
+		} else {
+			report(ev.pos, "use of inbox %s inside a loop that Ticks without rebinding it: stale after the first iteration (bind the Tick result each iteration)", ev.id.Name)
+		}
+	}
+
+	analysis.ApplyAssign(info, f, n, fr.evalInbox)
+}
+
+// linearYieldBetween reports whether some yield on the binding's
+// context sits textually between a bind of obj and the use — the
+// straight-line staleness shape; otherwise the staleness arrived over a
+// loop back edge and the diagnostic says so.
+func (fr *inboxFrame) linearYieldBetween(obj types.Object, use token.Pos) bool {
+	for _, bindEnd := range fr.bindEnds[obj] {
+		for _, y := range fr.yields {
+			if bindEnd < y.pos && y.pos < use && sameCtx(fr.bindRecv[obj], y.recv) {
 				return true
 			}
-			for i, lhs := range n.Lhs {
-				if i >= len(n.Rhs) {
+		}
+	}
+	return false
+}
+
+// checkEscapes diagnoses inbox values leaving the frame through one
+// block node, under the facts holding at the node's entry.
+func (fr *inboxFrame) checkEscapes(f analysis.Facts, n ast.Node, report func(token.Pos, string, ...any)) {
+	info := fr.pass.TypesInfo
+	isInbox := func(e ast.Expr) bool { return fr.evalInbox(f, e) != 0 }
+	declaredOutsideFrame := func(obj types.Object) bool {
+		return obj != nil && (obj.Pos() < fr.body.Pos() || obj.Pos() > fr.body.End())
+	}
+	analysis.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range m.Lhs {
+				if i >= len(m.Rhs) {
 					break
 				}
-				obj, isInbox := inboxValue(n.Rhs[i])
-				if !isInbox {
+				if !isInbox(m.Rhs[i]) {
 					continue
 				}
-				_ = obj
 				switch l := lhs.(type) {
 				case *ast.SelectorExpr:
-					report(n.Pos(), "inbox slice stored in field %s: it aliases an engine buffer valid only until the next Tick (copy the messages instead)", l.Sel.Name)
+					report(m.Pos(), "inbox slice stored in field %s: it aliases an engine buffer valid only until the next Tick (copy the messages instead)", l.Sel.Name)
 				case *ast.IndexExpr:
-					report(n.Pos(), "inbox slice stored into a container: it aliases an engine buffer valid only until the next Tick (copy the messages instead)")
+					report(m.Pos(), "inbox slice stored into a container: it aliases an engine buffer valid only until the next Tick (copy the messages instead)")
 				case *ast.Ident:
 					if lobj := objOf(info, l); declaredOutsideFrame(lobj) {
-						report(n.Pos(), "inbox slice assigned to %s, declared outside this function: the buffer is reused at the next Tick (copy the messages instead)", l.Name)
+						report(m.Pos(), "inbox slice assigned to %s, declared outside this function: the buffer is reused at the next Tick (copy the messages instead)", l.Name)
 					}
 				}
 			}
 		case *ast.SendStmt:
-			if inNestedLit(n.Pos()) {
-				return true
-			}
-			if _, isInbox := inboxValue(n.Value); isInbox {
-				report(n.Pos(), "inbox slice sent on a channel: it aliases an engine buffer valid only until the next Tick (copy the messages instead)")
+			if isInbox(m.Value) {
+				report(m.Pos(), "inbox slice sent on a channel: it aliases an engine buffer valid only until the next Tick (copy the messages instead)")
 			}
 		case *ast.ReturnStmt:
-			if inNestedLit(n.Pos()) {
-				return true
-			}
-			for _, r := range n.Results {
-				if _, isInbox := inboxValue(r); isInbox {
-					report(n.Pos(), "inbox slice returned from the function: it aliases an engine buffer valid only until the next Tick (copy the messages instead)")
+			for _, r := range m.Results {
+				if isInbox(r) {
+					report(m.Pos(), "inbox slice returned from the function: it aliases an engine buffer valid only until the next Tick (copy the messages instead)")
 				}
 			}
 		case *ast.CallExpr:
-			if inNestedLit(n.Pos()) {
-				return true
-			}
-			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "append" && n.Ellipsis == token.NoPos {
-				for _, arg := range n.Args[1:] {
-					if _, isInbox := inboxValue(arg); isInbox {
+			if id, ok := m.Fun.(*ast.Ident); ok && id.Name == "append" && m.Ellipsis == token.NoPos {
+				for _, arg := range m.Args[1:] {
+					if isInbox(arg) {
 						report(arg.Pos(), "inbox slice stored via append: appending the slice value retains the engine buffer (use append(dst, inbox...) to copy the messages)")
 					}
 				}
 			}
-		case *ast.Ident:
-			obj := objOf(info, n)
-			if obj == nil {
-				return true
-			}
-			bind, bound := latestBind(obj, n.Pos())
-			if !bound || bind.pos > n.Pos() {
-				return true
-			}
-			if inNestedLit(n.Pos()) {
-				report(n.Pos(), "inbox variable %s captured by a nested function literal: the closure may outlive the round (copy the messages instead)", n.Name)
-				return true
-			}
-			// Linear rule: a yield on the same context strictly between
-			// the binding and this use invalidates the inbox.
-			for _, y := range yields {
-				if bind.pos < y.pos && y.pos < n.Pos() && sameCtx(y.recv, bind.recv) {
-					report(n.Pos(), "use of inbox %s after a later Tick: the engine reused its buffer at that barrier (bind a fresh Tick result or copy before ticking)", n.Name)
-					return true
-				}
-			}
-			// Back-edge rule: bound before a loop that both uses it and
-			// yields without rebinding it.
-			for _, l := range loops {
-				if bind.pos < l[0] && l[0] <= n.Pos() && n.Pos() < l[1] {
-					for _, y := range yields {
-						if l[0] <= y.pos && y.pos < l[1] && sameCtx(y.recv, bind.recv) && y.rebinds != obj {
-							report(n.Pos(), "use of inbox %s inside a loop that Ticks without rebinding it: stale after the first iteration (bind the Tick result each iteration)", n.Name)
-							return true
-						}
-					}
-				}
-			}
 		}
 		return true
 	})
-}
-
-// yieldRebind returns the variable the yield call's result is bound to
-// when the call is the RHS of an assignment (`in = c.Tick()`), or nil.
-func yieldRebind(info *types.Info, body *ast.BlockStmt, call *ast.CallExpr) types.Object {
-	var obj types.Object
-	ast.Inspect(body, func(n ast.Node) bool {
-		if obj != nil {
-			return false
-		}
-		asg, ok := n.(*ast.AssignStmt)
-		if !ok || len(asg.Lhs) != len(asg.Rhs) {
-			return true
-		}
-		for i, rhs := range asg.Rhs {
-			if ast.Unparen(rhs) == call {
-				if id, ok := asg.Lhs[i].(*ast.Ident); ok {
-					obj = objOf(info, id)
-				}
-			}
-		}
-		return true
-	})
-	return obj
 }

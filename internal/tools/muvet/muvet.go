@@ -1,4 +1,4 @@
-// Package muvet is the repo's static contract checker: five analyzers
+// Package muvet is the repo's static contract checker: eight analyzers
 // that enforce, at `go vet` time, the engine invariants the runtime
 // safety net (simdebug poisoning, golden determinism digests, the
 // 0-alloc round pin, the refsim differential harness) can only catch
@@ -9,6 +9,15 @@
 //	shardrng     engine RNGs derive from ShardStreamSeed / the node rule
 //	hotalloc     //muvet:hotpath functions stay allocation-free
 //	recordpurity bench.Record stays byte-deterministic
+//	stepblock    Step methods and their callees never block, spawn or yield
+//	stepalias    the Step inbox parameter never escapes the invocation
+//	ctxretain    Program.Node never retains the node context
+//
+// The step-contract analyzers and the rebased inboxalias/hotalloc run
+// on a shared per-function control-flow graph with a reaching-values
+// lattice (internal/tools/muvet/analysis), so branch, loop back-edge
+// and panic-path reasoning are dataflow facts rather than source-order
+// heuristics.
 //
 // # Annotation grammar
 //
@@ -40,10 +49,11 @@ import (
 	"mucongest/internal/tools/muvet/analysis"
 )
 
-// Suite returns the five analyzers in reporting order.
+// Suite returns the eight analyzers in reporting order.
 func Suite() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		NoDeterm, InboxAlias, ShardRNG, HotAlloc, RecordPurity,
+		StepBlock, StepAlias, CtxRetain,
 	}
 }
 

@@ -30,8 +30,27 @@ func TestRecordPurity(t *testing.T) {
 	muvettest.Run(t, muvet.RecordPurity, "recordpurity", "mucongest/internal/bench")
 }
 
+// The step-contract corpora import the shared stepstub package, so they
+// also exercise muvettest's cross-package import resolution and the
+// structural matching of methods whose parameter types are imported.
+
+func TestStepBlock(t *testing.T) {
+	muvettest.Run(t, muvet.StepBlock, "stepblock", "example.com/stepblock")
+}
+
+func TestStepAlias(t *testing.T) {
+	muvettest.Run(t, muvet.StepAlias, "stepalias", "example.com/stepalias")
+}
+
+func TestCtxRetain(t *testing.T) {
+	muvettest.Run(t, muvet.CtxRetain, "ctxretain", "example.com/ctxretain")
+}
+
 func TestSuiteOrder(t *testing.T) {
-	want := []string{"nodeterm", "inboxalias", "shardrng", "hotalloc", "recordpurity"}
+	want := []string{
+		"nodeterm", "inboxalias", "shardrng", "hotalloc", "recordpurity",
+		"stepblock", "stepalias", "ctxretain",
+	}
 	suite := muvet.Suite()
 	if len(suite) != len(want) {
 		t.Fatalf("Suite() has %d analyzers, want %d", len(suite), len(want))

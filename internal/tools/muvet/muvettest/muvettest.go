@@ -9,6 +9,12 @@
 // per-line want expectations, and an importPath override so a corpus
 // can stand in for a scoped repo package such as
 // "mucongest/internal/sim".
+//
+// Corpora may be multi-file and may import sibling corpus packages:
+// import paths are resolved under testdata/src first (so the
+// step-contract corpora share one "stepstub" types package and
+// interface implementations resolve across package boundaries), falling
+// back to the standard-library source importer.
 package muvettest
 
 import (
@@ -81,7 +87,7 @@ func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
 		Uses:       map[*ast.Ident]types.Object{},
 		Selections: map[*ast.SelectorExpr]*types.Selection{},
 	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	conf := types.Config{Importer: NewCorpusImporter(fset, filepath.Join("testdata", "src"))}
 	pkg, err := conf.Check(importPath, fset, files, info)
 	if err != nil {
 		t.Fatalf("muvettest: typecheck %s: %v", root, err)
@@ -129,6 +135,66 @@ func Run(t *testing.T, a *analysis.Analyzer, dir, importPath string) {
 			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.rx)
 		}
 	}
+}
+
+// CorpusImporter resolves import paths under a corpus root directory
+// (testdata/src) before falling back to the standard-library source
+// importer. Corpus packages are parsed and type-checked from source on
+// first import, sharing the runner's FileSet so object positions stay
+// comparable across packages, and are cached for the importer's
+// lifetime.
+type CorpusImporter struct {
+	fset *token.FileSet
+	root string
+	base types.Importer
+	pkgs map[string]*types.Package
+}
+
+// NewCorpusImporter returns an importer rooted at dir.
+func NewCorpusImporter(fset *token.FileSet, dir string) *CorpusImporter {
+	return &CorpusImporter{
+		fset: fset,
+		root: dir,
+		base: importer.ForCompiler(fset, "source", nil),
+		pkgs: map[string]*types.Package{},
+	}
+}
+
+// Import implements types.Importer.
+func (ci *CorpusImporter) Import(path string) (*types.Package, error) {
+	if pkg, ok := ci.pkgs[path]; ok {
+		return pkg, nil
+	}
+	dir := filepath.Join(ci.root, filepath.FromSlash(path))
+	if fi, err := os.Stat(dir); err != nil || !fi.IsDir() {
+		return ci.base.Import(path)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ci.fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return ci.base.Import(path)
+	}
+	conf := types.Config{Importer: ci}
+	pkg, err := conf.Check(path, ci.fset, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	ci.pkgs[path] = pkg
+	return pkg, nil
 }
 
 // wantRx matches the quoted regexp clauses after a want marker.

@@ -1,0 +1,74 @@
+package muvettest
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+)
+
+// The runner tests run from the muvettest package directory, so the
+// corpus root is the muvet package's testdata two levels up.
+var corpusRoot = filepath.Join("..", "testdata", "src")
+
+// TestCorpusImporterResolvesCorpusPackage checks that an import path
+// matching a directory under testdata/src is type-checked from source:
+// the shared stepstub package must expose the types the step-contract
+// corpora match on.
+func TestCorpusImporterResolvesCorpusPackage(t *testing.T) {
+	ci := NewCorpusImporter(token.NewFileSet(), corpusRoot)
+	pkg, err := ci.Import("stepstub")
+	if err != nil {
+		t.Fatalf("Import(stepstub): %v", err)
+	}
+	if pkg.Name() != "stepstub" {
+		t.Fatalf("package name = %q, want %q", pkg.Name(), "stepstub")
+	}
+	for _, name := range []string{"Ctx", "Incoming", "StepProgram", "Program"} {
+		if pkg.Scope().Lookup(name) == nil {
+			t.Errorf("stepstub is missing %s", name)
+		}
+	}
+	// Second import must hit the cache and return the identical package
+	// so cross-package identity checks (types.Identical on Incoming)
+	// hold when two corpora import the same sibling.
+	again, err := ci.Import("stepstub")
+	if err != nil {
+		t.Fatalf("second Import(stepstub): %v", err)
+	}
+	if again != pkg {
+		t.Errorf("second import returned a distinct *types.Package; corpus packages must be cached")
+	}
+}
+
+// TestCorpusImporterFallsBackToStdlib checks that paths with no corpus
+// directory fall through to the standard-library source importer.
+func TestCorpusImporterFallsBackToStdlib(t *testing.T) {
+	ci := NewCorpusImporter(token.NewFileSet(), corpusRoot)
+	pkg, err := ci.Import("sync")
+	if err != nil {
+		t.Fatalf("Import(sync): %v", err)
+	}
+	if pkg.Scope().Lookup("Mutex") == nil {
+		t.Errorf("stdlib fallback returned a sync package without Mutex")
+	}
+}
+
+// TestCorpusImporterSharedFileSet checks the documented position
+// contract: corpus packages are parsed into the FileSet the runner
+// hands in, so analyzers can compare object positions across packages.
+func TestCorpusImporterSharedFileSet(t *testing.T) {
+	fset := token.NewFileSet()
+	ci := NewCorpusImporter(fset, corpusRoot)
+	pkg, err := ci.Import("stepstub")
+	if err != nil {
+		t.Fatalf("Import(stepstub): %v", err)
+	}
+	obj := pkg.Scope().Lookup("Incoming")
+	if obj == nil {
+		t.Fatal("stepstub.Incoming not found")
+	}
+	pos := fset.Position(obj.Pos())
+	if filepath.Base(pos.Filename) != "stepstub.go" {
+		t.Errorf("Incoming declared at %s; position not resolvable in the shared FileSet", pos)
+	}
+}

@@ -1,0 +1,157 @@
+package muvet
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mucongest/internal/tools/muvet/analysis"
+)
+
+// stepcontract.go: shared structural matching for the goroutine-free
+// step-execution contracts of internal/sim. The analyzers match method
+// SHAPES rather than one concrete interface so a single pass covers
+// sim.StepProgram, refsim.StepNode, and corpus stand-ins:
+//
+//   - a Step method: named "Step", two parameters with the second a
+//     slice of a named type called "Incoming", one bool result. This is
+//     exactly the StepProgram/StepNode signature modulo the context
+//     parameter type.
+//   - a Node method: named "Node", one parameter (the node context),
+//     two results with the second a func type — the Program surface
+//     that picks each node's execution form.
+
+// funcDeclOf indexes every function and method declared in the pass's
+// files by its types.Func object, so call edges can be resolved to
+// bodies for transitive checks.
+func funcDeclOf(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	decls := map[*types.Func]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func); ok {
+				decls[obj] = fn
+			}
+		}
+	}
+	return decls
+}
+
+// isStepMethod reports whether fn structurally implements the
+// StepProgram contract. The receiver type string is returned for
+// diagnostics.
+func isStepMethod(info *types.Info, fn *ast.FuncDecl) (recv string, ok bool) {
+	if fn.Name.Name != "Step" || fn.Recv == nil || fn.Body == nil {
+		return "", false
+	}
+	obj, isFn := info.Defs[fn.Name].(*types.Func)
+	if !isFn {
+		return "", false
+	}
+	sig, isSig := obj.Type().(*types.Signature)
+	if !isSig || sig.Params().Len() != 2 || sig.Results().Len() != 1 {
+		return "", false
+	}
+	sl, isSlice := sig.Params().At(1).Type().Underlying().(*types.Slice)
+	if !isSlice {
+		return "", false
+	}
+	named, isNamed := sl.Elem().(*types.Named)
+	if !isNamed || named.Obj().Name() != "Incoming" {
+		return "", false
+	}
+	b, isBasic := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	if !isBasic || b.Kind() != types.Bool {
+		return "", false
+	}
+	return recvTypeName(sig), true
+}
+
+// isNodeMethod reports whether fn structurally implements the Program
+// contract's Node method: one context parameter, two results with the
+// second a func type.
+func isNodeMethod(info *types.Info, fn *ast.FuncDecl) (recv string, ok bool) {
+	if fn.Name.Name != "Node" || fn.Recv == nil || fn.Body == nil {
+		return "", false
+	}
+	obj, isFn := info.Defs[fn.Name].(*types.Func)
+	if !isFn {
+		return "", false
+	}
+	sig, isSig := obj.Type().(*types.Signature)
+	if !isSig || sig.Params().Len() != 1 || sig.Results().Len() != 2 {
+		return "", false
+	}
+	if _, isFunc := sig.Results().At(1).Type().Underlying().(*types.Signature); !isFunc {
+		return "", false
+	}
+	return recvTypeName(sig), true
+}
+
+// recvTypeName renders a method receiver's base type name for
+// diagnostics ("tickingStep" for both tickingStep and *tickingStep).
+func recvTypeName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, isPtr := t.(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	if named, isNamed := t.(*types.Named); isNamed {
+		return named.Obj().Name()
+	}
+	return t.String()
+}
+
+// paramObj returns the object of the i-th parameter of fn, or nil when
+// the parameter is unnamed or blank.
+func paramObj(info *types.Info, fn *ast.FuncDecl, i int) types.Object {
+	idx := 0
+	for _, field := range fn.Type.Params.List {
+		if len(field.Names) == 0 {
+			idx++
+			continue
+		}
+		for _, name := range field.Names {
+			if idx == i {
+				if name.Name == "_" {
+					return nil
+				}
+				return info.Defs[name]
+			}
+			idx++
+		}
+	}
+	return nil
+}
+
+// staticCallee resolves a call to the *types.Func it statically invokes
+// (package function or concrete method). Interface method calls and
+// closure calls return nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	// Interface methods have no body to follow: their receiver's base
+	// type is an interface.
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+			t = p.Elem()
+		}
+		if _, isIface := t.Underlying().(*types.Interface); isIface {
+			return nil
+		}
+	}
+	return fn
+}

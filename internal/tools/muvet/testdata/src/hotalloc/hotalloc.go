@@ -77,6 +77,32 @@ func (r *ring) note(v int) {
 	r.name = fmt.Sprintf("v=%d", v)
 }
 
+// elseOfGuardHot: only the THEN branch of a cap-guard is the warmup
+// path. The else arm runs on every steady-state call, so allocation
+// there is flagged (the old pass exempted the whole if statement).
+//
+//muvet:hotpath
+func (r *ring) elseOfGuardHot(v int) {
+	if cap(r.buf) > len(r.buf) {
+		r.buf = append(r.buf, v)
+	} else {
+		r.out = make([]int, 1) // want `make allocates in hot path elseOfGuardHot`
+	}
+}
+
+// abortMessage builds its panic message in a separate statement: the
+// whole block ends in panic, so it is cold even though the Sprintf is
+// not syntactically a panic argument (the old pass flagged it).
+//
+//muvet:hotpath
+func (r *ring) abortMessage(v int) {
+	if v < 0 {
+		msg := fmt.Sprintf("bad v=%d", v)
+		panic(msg)
+	}
+	r.buf[0] = v
+}
+
 // setup is not annotated: allocation is free here.
 func setup() *ring {
 	return &ring{buf: make([]int, 0, 64), name: fmt.Sprintf("ring-%d", 0)}

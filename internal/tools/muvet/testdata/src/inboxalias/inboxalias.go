@@ -88,3 +88,42 @@ func deliberateStashAllowed(c *Ctx) {
 	//muvet:allow inboxalias(poisoning-test fixture retains the slice on purpose)
 	global = in
 }
+
+// bindInLoopStale goes stale over the loop back edge: the binding
+// happens inside the loop, so the old linear pass (which required the
+// binding to precede the loop) missed it. The CFG dataflow sees the
+// Idle on iteration k invalidating the binding read on iteration k+1.
+func bindInLoopStale(c *Ctx) int64 {
+	var sum int64
+	var in []Msg
+	for i := 0; i < 3; i++ {
+		if i == 0 {
+			in = c.Tick()
+		}
+		sum += in[0].A // want `use of inbox in inside a loop that Ticks without rebinding it`
+		c.Idle()
+	}
+	return sum
+}
+
+// yieldNotOnPath must NOT be flagged: the Idle sits textually between
+// the bind and the use, but on a branch that returns before the use —
+// the fall-through path never yields. The old linear rule ("a yield
+// between the bind and the use") reported a false positive here.
+func yieldNotOnPath(c *Ctx, p bool) int {
+	in := c.Tick()
+	if p {
+		c.Idle()
+		return 0
+	}
+	return len(in)
+}
+
+// escapeThroughCopy escapes via a local alias: the old pass only
+// tracked variables bound directly to a Tick call, so the copy washed
+// the taint off. The reaching-values lattice propagates it.
+func escapeThroughCopy(c *Ctx, h *holder) {
+	in := c.Tick()
+	alias := in
+	h.in = alias // want `inbox slice stored in field in`
+}

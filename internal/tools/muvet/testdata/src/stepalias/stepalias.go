@@ -1,0 +1,118 @@
+// Corpus for the stepalias analyzer: every way the Step inbox
+// parameter can escape its invocation, plus the copying idioms that
+// are fine. Types come from the imported stepstub package, exercising
+// cross-package signature matching.
+package stepalias
+
+import "stepstub"
+
+var global []stepstub.Incoming
+
+var _ stepstub.StepProgram = (*fieldStep)(nil)
+
+type fieldStep struct{ held []stepstub.Incoming }
+
+func (s *fieldStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	s.held = in // want `Step inbox stored in field held`
+	return true
+}
+
+type globalStep struct{}
+
+func (globalStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	global = in // want `Step inbox assigned to global`
+	return true
+}
+
+type chanStep struct{ ch chan []stepstub.Incoming }
+
+func (s *chanStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	s.ch <- in // want `Step inbox sent on a channel`
+	return true
+}
+
+type appendStep struct{ log [][]stepstub.Incoming }
+
+func (s *appendStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	s.log = append(s.log, in) // want `Step inbox stored via append`
+	return true
+}
+
+type subsliceStep struct{ held []stepstub.Incoming }
+
+func (s *subsliceStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	if len(in) > 1 {
+		s.held = in[1:] // want `Step inbox stored in field held`
+	}
+	return true
+}
+
+type ptrStep struct{ first *stepstub.Incoming }
+
+func (s *ptrStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	if len(in) > 0 {
+		s.first = &in[0] // want `Step inbox stored in field first`
+	}
+	return true
+}
+
+// aliasStep escapes through a rename on one branch: the reaching-facts
+// lattice propagates the alias to the store.
+type aliasStep struct{ held []stepstub.Incoming }
+
+func (s *aliasStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	var tail []stepstub.Incoming
+	if len(in) > 2 {
+		tail = in
+	}
+	s.held = tail // want `Step inbox stored in field held`
+	return true
+}
+
+type captureStep struct{ probe func() int }
+
+func (s *captureStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	s.probe = func() int { return len(in) } // want `Step inbox in captured by a function literal`
+	return true
+}
+
+// copyStep copies the messages out: spreading append, element value
+// copies, and passing to a helper are all fine.
+type copyStep struct {
+	log  []stepstub.Incoming
+	last stepstub.Incoming
+}
+
+func (s *copyStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	s.log = append(s.log, in...) // spreading copies the elements
+	if len(in) > 0 {
+		s.last = in[len(in)-1] // element copy: Msg is a value struct
+	}
+	emitAll(c, in) // helper call: not an escape at the call site
+	return true
+}
+
+// iifeStep reads the inbox through an immediately invoked literal,
+// which runs within the Step call: fine.
+type iifeStep struct{ n int }
+
+func (s *iifeStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	s.n = func() int { return len(in) }()
+	return true
+}
+
+func emitAll(c *stepstub.Ctx, in []stepstub.Incoming) {
+	for _, m := range in {
+		c.Emit(m.Msg.A)
+	}
+}
+
+// stashStep is the suppression case: a poisoning fixture retains the
+// inbox on purpose.
+type stashStep struct{ held []stepstub.Incoming }
+
+func (s *stashStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	//muvet:allow stepalias(poisoning fixture retains the inbox on purpose)
+	s.held = in
+	return true
+}

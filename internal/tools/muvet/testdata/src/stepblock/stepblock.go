@@ -1,0 +1,119 @@
+// Corpus for the stepblock analyzer: every way a goroutine-free Step
+// program can block, spawn or yield, plus the effects that are fine.
+// The interface assertions pin that the structurally matched methods
+// are exactly the stepstub.StepProgram implementations.
+package stepblock
+
+import (
+	"sync"
+	"time"
+
+	"stepstub"
+)
+
+var (
+	_ stepstub.StepProgram = (*sendStep)(nil)
+	_ stepstub.StepProgram = (*tickStep)(nil)
+	_ stepstub.StepProgram = (*okStep)(nil)
+)
+
+type sendStep struct{ ch chan int }
+
+func (s *sendStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	s.ch <- 1 // want `channel send in \(sendStep\)\.Step`
+	return true
+}
+
+type recvStep struct{ ch chan int }
+
+func (s *recvStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	v := <-s.ch // want `channel receive in \(recvStep\)\.Step`
+	c.Emit(int64(v))
+	return true
+}
+
+type selectStep struct{ ch chan int }
+
+func (s *selectStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	select { // want `select statement in \(selectStep\)\.Step`
+	case <-s.ch: // want `channel receive in \(selectStep\)\.Step`
+	default:
+	}
+	return true
+}
+
+type rangeStep struct{ ch chan int }
+
+func (s *rangeStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	for v := range s.ch { // want `range over a channel in \(rangeStep\)\.Step`
+		c.Emit(int64(v))
+	}
+	return true
+}
+
+type goStep struct{}
+
+func (goStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	go func() { // want `goroutine spawned in \(goStep\)\.Step`
+		c.Emit(1)
+	}()
+	return true
+}
+
+type lockStep struct{ mu sync.Mutex }
+
+func (s *lockStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	s.mu.Lock() // want `sync\.Lock in \(lockStep\)\.Step`
+	defer s.mu.Unlock()
+	return true
+}
+
+type waitStep struct{ wg sync.WaitGroup }
+
+func (s *waitStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	s.wg.Wait() // want `sync\.Wait in \(waitStep\)\.Step`
+	return true
+}
+
+type sleepStep struct{}
+
+func (sleepStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in \(sleepStep\)\.Step`
+	return true
+}
+
+type tickStep struct{}
+
+func (tickStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	c.Tick() // want `Tick called in \(tickStep\)\.Step`
+	return true
+}
+
+type idleStep struct{}
+
+func (idleStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	c.Idle() // want `Idle called in \(idleStep\)\.Step`
+	return true
+}
+
+// okStep uses only the non-blocking effects: no findings.
+type okStep struct{ sum int64 }
+
+func (s *okStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	for _, m := range in {
+		s.sum += m.Msg.A
+	}
+	c.Send(0, stepstub.Msg{A: s.sum})
+	c.Emit(s.sum)
+	return true
+}
+
+// allowedStep is the suppression case: a fixture deliberately proving
+// the runtime Tick-in-Step panic.
+type allowedStep struct{}
+
+func (allowedStep) Step(c *stepstub.Ctx, in []stepstub.Incoming) bool {
+	//muvet:allow stepblock(fixture proving the runtime Tick-in-Step panic)
+	c.Tick()
+	return false
+}

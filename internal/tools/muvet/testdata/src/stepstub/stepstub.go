@@ -1,0 +1,41 @@
+// Package stepstub provides the shared node-context and message types
+// the step-contract corpora import, standing in for mucongest's
+// internal/sim. Keeping it a separate corpus package exercises
+// muvettest's cross-package import resolution: the analyzers must
+// recognize Step and Node methods whose parameter types come from an
+// imported package.
+package stepstub
+
+// Msg is a value struct like sim.Msg: copying an element copies the
+// payload.
+type Msg struct {
+	Kind int32
+	A    int64
+}
+
+// Incoming mirrors sim.Incoming; the name is what the step-contract
+// analyzers match the inbox slice on.
+type Incoming struct {
+	From int
+	Msg  Msg
+}
+
+// Ctx mimics the engine node context: Tick yields the inbox (an
+// aliased, reused buffer), Idle yields without messages, Send/Emit are
+// the non-blocking effects a step program may use.
+type Ctx struct{ inbox []Incoming }
+
+func (c *Ctx) Tick() []Incoming     { return c.inbox }
+func (c *Ctx) Idle()                {}
+func (c *Ctx) Send(port int, m Msg) {}
+func (c *Ctx) Emit(v int64)         {}
+
+// StepProgram mirrors sim.StepProgram.
+type StepProgram interface {
+	Step(c *Ctx, in []Incoming) bool
+}
+
+// Program mirrors sim.Program.
+type Program interface {
+	Node(c *Ctx) (StepProgram, func(*Ctx))
+}

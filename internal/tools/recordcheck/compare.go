@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// runCompare implements `recordcheck -compare baseline.json fresh.json
+// [-tol-ns R] [-tol-allocs R]`: load two mucongest.bench/v1 documents
+// and fail if any baseline cell regressed beyond the tolerance ratios
+// in the fresh run. The flag package stops parsing at the first
+// positional argument, so the two file operands are peeled off by hand
+// and the FlagSet only sees what follows them.
+func runCompare(args []string, stdout io.Writer) error {
+	if len(args) < 2 {
+		return fmt.Errorf("usage: recordcheck -compare baseline.json fresh.json [-tol-ns R] [-tol-allocs R]")
+	}
+	basePath, freshPath := args[0], args[1]
+	fs := flag.NewFlagSet("recordcheck -compare", flag.ContinueOnError)
+	tolNS := fs.Float64("tol-ns", 1.10,
+		"fresh/baseline ns/op ratio above which a cell counts as regressed")
+	tolAllocs := fs.Float64("tol-allocs", 1.0,
+		"fresh/baseline allocs/op ratio above which a cell counts as regressed")
+	if err := fs.Parse(args[2:]); err != nil {
+		return err
+	}
+	if rest := fs.Args(); len(rest) > 0 {
+		return fmt.Errorf("unexpected arguments after flags: %v", rest)
+	}
+	if *tolNS < 1 || *tolAllocs < 1 {
+		return fmt.Errorf("tolerance ratios must be >= 1 (got -tol-ns %v -tol-allocs %v)", *tolNS, *tolAllocs)
+	}
+
+	base, err := loadBench(basePath)
+	if err != nil {
+		return err
+	}
+	fresh, err := loadBench(freshPath)
+	if err != nil {
+		return err
+	}
+	regressions := compareBench(base, fresh, *tolNS, *tolAllocs)
+	if len(regressions) > 0 {
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "recordcheck: regression: %s\n", r)
+		}
+		return fmt.Errorf("%d of %d baseline cells regressed beyond tolerance", len(regressions), len(base))
+	}
+	fmt.Fprintf(stdout, "recordcheck: %d baseline cells within tolerance (ns/op <= %.2fx, allocs/op <= %.2fx)\n",
+		len(base), *tolNS, *tolAllocs)
+	return nil
+}
+
+// benchCell is one benchmark row of a mucongest.bench/v1 document.
+type benchCell struct {
+	NSPerOp     float64
+	BytesPerOp  float64
+	AllocsPerOp float64
+}
+
+// loadBench reads a mucongest.bench/v1 file into per-name cells,
+// rejecting schema drift, count mismatches, duplicates and non-positive
+// timings so a comparison never silently runs over a malformed side.
+func loadBench(path string) (map[string]benchCell, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	// Probe the schema stamp leniently first: a records/v1 file must be
+	// reported as the wrong schema, not as its fields being unknown.
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if probe.Schema != "mucongest.bench/v1" {
+		return nil, fmt.Errorf("%s: schema %q, -compare wants mucongest.bench/v1", path, probe.Schema)
+	}
+	var doc struct {
+		Schema     string `json:"schema"`
+		Count      *int   `json:"count"`
+		Benchmarks []struct {
+			Name        string  `json:"name"`
+			NSPerOp     float64 `json:"nsPerOp"`
+			BytesPerOp  float64 `json:"bytesPerOp"`
+			AllocsPerOp float64 `json:"allocsPerOp"`
+		} `json:"benchmarks"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if doc.Count == nil || *doc.Count != len(doc.Benchmarks) {
+		return nil, fmt.Errorf("%s: count field inconsistent with %d benchmarks", path, len(doc.Benchmarks))
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	cells := make(map[string]benchCell, len(doc.Benchmarks))
+	for i, b := range doc.Benchmarks {
+		if b.Name == "" {
+			return nil, fmt.Errorf("%s: benchmark %d has no name", path, i)
+		}
+		if b.NSPerOp <= 0 {
+			return nil, fmt.Errorf("%s: benchmark %q: nsPerOp %v, want > 0", path, b.Name, b.NSPerOp)
+		}
+		if b.BytesPerOp < 0 || b.AllocsPerOp < 0 {
+			return nil, fmt.Errorf("%s: benchmark %q: negative B/op or allocs/op", path, b.Name)
+		}
+		if _, dup := cells[b.Name]; dup {
+			return nil, fmt.Errorf("%s: duplicate benchmark %q", path, b.Name)
+		}
+		cells[b.Name] = benchCell{NSPerOp: b.NSPerOp, BytesPerOp: b.BytesPerOp, AllocsPerOp: b.AllocsPerOp}
+	}
+	return cells, nil
+}
+
+// compareBench checks every baseline cell against the fresh run and
+// returns one message per regression, in name order. A cell missing
+// from the fresh run is a regression (a deleted benchmark must retire
+// its baseline row first); benchmarks only in the fresh run are new
+// coverage and pass. B/op is carried in the schema but not gated here:
+// it moves with allocator size classes, and allocs/op is the stable
+// proxy the repo tracks.
+func compareBench(base, fresh map[string]benchCell, tolNS, tolAllocs float64) []string {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var regressions []string
+	for _, name := range names {
+		b := base[name]
+		f, ok := fresh[name]
+		if !ok {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: in baseline but missing from fresh run", name))
+			continue
+		}
+		if f.NSPerOp > b.NSPerOp*tolNS {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: ns/op %.1f -> %.1f (%.2fx > %.2fx tolerance)",
+					name, b.NSPerOp, f.NSPerOp, f.NSPerOp/b.NSPerOp, tolNS))
+		}
+		if f.AllocsPerOp > b.AllocsPerOp*tolAllocs {
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/op %.0f -> %.0f (tolerance %.2fx)",
+					name, b.AllocsPerOp, f.AllocsPerOp, tolAllocs))
+		}
+	}
+	return regressions
+}

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// benchDoc renders a synthetic mucongest.bench/v1 document. Cells are
+// (name, ns, bytes, allocs) quadruples.
+func benchDoc(cells ...[4]string) string {
+	var rows []string
+	for _, c := range cells {
+		rows = append(rows, fmt.Sprintf(
+			`{"name":%q,"nsPerOp":%s,"bytesPerOp":%s,"allocsPerOp":%s}`,
+			c[0], c[1], c[2], c[3]))
+	}
+	return fmt.Sprintf(`{"schema":"mucongest.bench/v1","count":%d,"benchmarks":[%s]}`,
+		len(cells), strings.Join(rows, ","))
+}
+
+func writeDoc(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", benchDoc(
+		[4]string{"BenchmarkStep/path", "1000", "64", "2"},
+		[4]string{"BenchmarkStep/star", "2000", "128", "4"},
+	))
+	fresh := writeDoc(t, dir, "fresh.json", benchDoc(
+		[4]string{"BenchmarkStep/path", "1200", "64", "2"},
+		[4]string{"BenchmarkStep/star", "1900", "96", "4"},
+	))
+	var out bytes.Buffer
+	err := runCompare([]string{base, fresh, "-tol-ns", "1.3", "-tol-allocs", "1.05"}, &out)
+	if err != nil {
+		t.Fatalf("runCompare: %v", err)
+	}
+	if !strings.Contains(out.String(), "2 baseline cells within tolerance") {
+		t.Errorf("output = %q, want the within-tolerance summary", out.String())
+	}
+}
+
+func TestCompareNsRegression(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", benchDoc([4]string{"BenchmarkStep/path", "1000", "64", "2"}))
+	fresh := writeDoc(t, dir, "fresh.json", benchDoc([4]string{"BenchmarkStep/path", "1400", "64", "2"}))
+	err := runCompare([]string{base, fresh, "-tol-ns", "1.3", "-tol-allocs", "1.05"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "1 of 1 baseline cells regressed") {
+		t.Fatalf("err = %v, want a one-cell regression", err)
+	}
+}
+
+func TestCompareAllocRegressionDespiteFasterNs(t *testing.T) {
+	dir := t.TempDir()
+	base := writeDoc(t, dir, "base.json", benchDoc([4]string{"BenchmarkStep/path", "1000", "64", "4"}))
+	fresh := writeDoc(t, dir, "fresh.json", benchDoc([4]string{"BenchmarkStep/path", "900", "64", "5"}))
+	err := runCompare([]string{base, fresh, "-tol-ns", "1.3", "-tol-allocs", "1.05"}, &bytes.Buffer{})
+	if err == nil {
+		t.Fatal("allocs/op 4 -> 5 exceeds 1.05x; want a regression")
+	}
+}
+
+func TestCompareZeroAllocBaselineIsStrict(t *testing.T) {
+	// 0 * tolerance is still 0: a zero-alloc baseline cell admits no
+	// fresh allocations at any ratio.
+	regs := compareBench(
+		map[string]benchCell{"b": {NSPerOp: 100, AllocsPerOp: 0}},
+		map[string]benchCell{"b": {NSPerOp: 100, AllocsPerOp: 1}},
+		2.0, 2.0)
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op 0 -> 1") {
+		t.Fatalf("regressions = %v, want the zero-alloc cell flagged", regs)
+	}
+}
+
+func TestCompareMissingBenchmark(t *testing.T) {
+	regs := compareBench(
+		map[string]benchCell{"gone": {NSPerOp: 100}},
+		map[string]benchCell{},
+		1.3, 1.05)
+	if len(regs) != 1 || !strings.Contains(regs[0], "missing from fresh run") {
+		t.Fatalf("regressions = %v, want the missing cell flagged", regs)
+	}
+}
+
+func TestCompareNewBenchmarkPasses(t *testing.T) {
+	regs := compareBench(
+		map[string]benchCell{"old": {NSPerOp: 100, AllocsPerOp: 1}},
+		map[string]benchCell{
+			"old": {NSPerOp: 100, AllocsPerOp: 1},
+			"new": {NSPerOp: 9999, AllocsPerOp: 50},
+		},
+		1.05, 1.0)
+	if len(regs) != 0 {
+		t.Fatalf("regressions = %v; a benchmark only in the fresh run must pass", regs)
+	}
+}
+
+func TestCompareRejectsBadInputs(t *testing.T) {
+	dir := t.TempDir()
+	good := writeDoc(t, dir, "good.json", benchDoc([4]string{"b", "100", "0", "0"}))
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"too few operands", []string{good}, "usage:"},
+		{"wrong schema", []string{
+			writeDoc(t, dir, "records.json", `{"schema":"mucongest.records/v1","count":0,"records":[]}`),
+			good}, "-compare wants mucongest.bench/v1"},
+		{"count drift", []string{
+			writeDoc(t, dir, "drift.json",
+				`{"schema":"mucongest.bench/v1","count":2,"benchmarks":[{"name":"b","nsPerOp":1,"bytesPerOp":0,"allocsPerOp":0}]}`),
+			good}, "count field inconsistent"},
+		{"unknown field", []string{
+			writeDoc(t, dir, "extra.json",
+				`{"schema":"mucongest.bench/v1","count":1,"benchmarks":[{"name":"b","nsPerOp":1,"bytesPerOp":0,"allocsPerOp":0,"mbPerSec":9}]}`),
+			good}, "unknown field"},
+		{"duplicate name", []string{
+			writeDoc(t, dir, "dup.json", benchDoc([4]string{"b", "1", "0", "0"}, [4]string{"b", "2", "0", "0"})),
+			good}, "duplicate benchmark"},
+		{"tolerance below one", []string{good, good, "-tol-ns", "0.5"}, "must be >= 1"},
+		{"stray positional", []string{good, good, "-tol-ns", "1.2", "third.json"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := runCompare(tc.args, &bytes.Buffer{})
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want it to mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -12,6 +12,14 @@
 //
 // It decodes generically (not through the Go structs) on purpose: a
 // field renamed in code but not in the docs must fail here.
+//
+// A second mode compares two bench baselines cell by cell:
+//
+//	recordcheck -compare baseline.json fresh.json -tol-ns 1.3 -tol-allocs 1.05
+//
+// exits non-zero if any baseline benchmark's ns/op or allocs/op grew
+// beyond the tolerance ratio (or vanished) in the fresh file, so a perf
+// regression can gate a pipeline instead of being eyeballed.
 package main
 
 import (
@@ -130,6 +138,12 @@ func checkRows(kind string, rows []map[string]any, count *int, fields map[string
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "-compare" {
+		if err := runCompare(os.Args[2:], os.Stdout); err != nil {
+			fail("%v", err)
+		}
+		return
+	}
 	data, err := io.ReadAll(os.Stdin)
 	if err != nil {
 		fail("reading stdin: %v", err)
