@@ -1,11 +1,11 @@
 // Command muexp runs the paper-reproduction experiments (EXPERIMENTS.md,
-// experiments E1–E12) and emits one table per experiment with theory
+// experiments E1–E13) and emits one table per experiment with theory
 // vs measured columns, or the structured run records as CSV/JSON.
 //
 // Usage:
 //
 //	muexp [-seed N] [-exp E3] [-parallel N] [-simworkers N] [-format table|csv|json] [-out FILE] [-topo SPEC]
-//	      [-engine SPEC] [-enginerounds N] [-enginemode step|goroutine]
+//	      [-engine SPEC] [-enginerounds N] [-enginemode step|goroutine] [-faults SPEC]
 //	      [-cpuprofile FILE] [-memprofile FILE]
 //
 // By default every experiment runs, spread over a worker pool of
@@ -39,6 +39,16 @@
 //
 //	muexp -engine cycle:n=1048576 -enginemode step -enginerounds 2
 //
+// -faults applies a seeded fault plan (sim.ParseFaults: message loss,
+// node crash/restart, edge churn) to the -engine workload and appends
+// the fault ledger to the summary line, e.g.:
+//
+//	muexp -engine cycle:n=4096 -faults loss:p=0.01+crash:p=0.001,restart=5
+//
+// A malformed spec is a usage error (exit 2). The experiment sweep does
+// not take -faults: its fault plans are part of the experiment
+// definitions (E13 sweeps message-loss rates internally and records
+// each run's fault spec in its params).
 // -cpuprofile and -memprofile write runtime/pprof profiles of the real
 // experiment sweep (engine hot paths included), for `go tool pprof`.
 // Unwritable profile paths are usage errors (exit 2).
@@ -81,6 +91,9 @@ func main() {
 		"run the raw engine broadcast workload on this topology spec instead of the experiment sweep, e.g. cycle:n=1048576")
 	engineRounds := flag.Int("enginerounds", 4, "rounds for the -engine broadcast workload (≥ 1)")
 	engineMode := flag.String("enginemode", "step", "-engine execution form: step (goroutine-free) | goroutine")
+	faultsSpec := flag.String("faults", "",
+		"fault-plan spec for the -engine workload, '+'-joined clauses of loss:p=..., "+
+			"crash:p=...,restart=..., edgedown:p=...,up=... (sim.ParseFaults)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
@@ -103,6 +116,15 @@ func main() {
 	}
 	if *engineRounds < 1 {
 		fmt.Fprintf(os.Stderr, "-enginerounds must be ≥ 1 (got %d)\n", *engineRounds)
+		os.Exit(2)
+	}
+	faultPlan, faultErr := sim.ParseFaults(*faultsSpec)
+	if faultErr != nil {
+		fmt.Fprintf(os.Stderr, "-faults: %v\n", faultErr)
+		os.Exit(2)
+	}
+	if *faultsSpec != "" && *engineSpec == "" {
+		fmt.Fprintln(os.Stderr, "-faults requires -engine (the experiment sweep owns its own fault plans; see E13)")
 		os.Exit(2)
 	}
 	if *engineSpec != "" {
@@ -180,7 +202,7 @@ func main() {
 
 	var err error
 	if *engineSpec != "" {
-		err = runEngineLoad(ew, *engineSpec, *engineMode, *engineRounds, *seed)
+		err = runEngineLoad(ew, *engineSpec, *engineMode, *engineRounds, *seed, faultPlan)
 	} else {
 		tables := bench.RunParallel(selected, *seed, *parallel)
 		switch *format {
@@ -219,11 +241,12 @@ func main() {
 }
 
 // runEngineLoad builds the named topology and drives the canonical
-// engine broadcast workload over it in the requested execution form,
-// then writes a one-line summary including wall-clock. The timer starts
-// at engine construction: a scale smoke should bound what a cold run
-// actually costs, not just the warm round loop.
-func runEngineLoad(w io.Writer, spec, mode string, rounds int, seed int64) error {
+// engine broadcast workload over it in the requested execution form —
+// under the -faults plan, if one was given — then writes a one-line
+// summary including wall-clock. The timer starts at engine
+// construction: a scale smoke should bound what a cold run actually
+// costs, not just the warm round loop.
+func runEngineLoad(w io.Writer, spec, mode string, rounds int, seed int64, faults sim.FaultPlan) error {
 	tp, err := topo.Parse(spec)
 	if err != nil {
 		return err
@@ -233,7 +256,7 @@ func runEngineLoad(w io.Writer, spec, mode string, rounds int, seed int64) error
 		return err
 	}
 	start := time.Now()
-	e := sim.New(g, sim.WithSeed(seed))
+	e := sim.New(g, sim.WithSeed(seed), sim.WithFaults(faults))
 	var res *sim.Result
 	if mode == "step" {
 		res, err = e.RunProgram(bench.BroadcastSteps(g.N(), rounds))
@@ -243,8 +266,13 @@ func runEngineLoad(w io.Writer, spec, mode string, rounds int, seed int64) error
 	if err != nil {
 		return err
 	}
-	_, werr := fmt.Fprintf(w, "engine %s mode=%s nodes=%d rounds=%d messages=%d elapsed=%s\n",
-		spec, mode, g.N(), res.Rounds, res.Messages, time.Since(start).Round(time.Millisecond))
+	summary := fmt.Sprintf("engine %s mode=%s nodes=%d rounds=%d messages=%d",
+		spec, mode, g.N(), res.Rounds, res.Messages)
+	if !faults.Empty() {
+		summary += fmt.Sprintf(" faults=%q faultdrops=%d crashes=%d restarts=%d",
+			faults, res.FaultDrops, res.Crashes, res.Restarts)
+	}
+	_, werr := fmt.Fprintf(w, "%s elapsed=%s\n", summary, time.Since(start).Round(time.Millisecond))
 	return werr
 }
 

@@ -55,3 +55,51 @@ func TestEngineModeValidation(t *testing.T) {
 		}
 	}
 }
+
+// TestFaultsValidation pins the -faults usage contract against the real
+// binary: a malformed spec is a usage error (exit 2) whose message
+// lists the valid fault names, -faults without -engine is rejected, and
+// a valid plan runs the engine workload and reports the fault ledger in
+// the summary line.
+func TestFaultsValidation(t *testing.T) {
+	bin := buildMuexp(t)
+
+	out, err := exec.Command(bin, "-faults", "flood:p=0.5").CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("err = %v, want an exit error", err)
+	}
+	if code := ee.ExitCode(); code != 2 {
+		t.Errorf("exit code = %d, want 2 (usage error)", code)
+	}
+	msg := string(out)
+	if !strings.Contains(msg, `unknown fault "flood"`) {
+		t.Errorf("stderr = %q, want the rejected fault quoted", msg)
+	}
+	if !strings.Contains(msg, "valid: crash, edgedown, loss") {
+		t.Errorf("stderr = %q, want the valid choices listed", msg)
+	}
+
+	// A well-formed plan outside the -engine mode is still a usage
+	// error: experiment fault plans belong to the experiment definitions.
+	out, err = exec.Command(bin, "-faults", "loss:p=0.1").CombinedOutput()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Errorf("-faults without -engine: err = %v, want exit 2\n%s", err, out)
+	} else if !strings.Contains(string(out), "-faults requires -engine") {
+		t.Errorf("stderr = %q, want the -engine requirement spelled out", out)
+	}
+
+	// A valid plan must run for real and surface the fault ledger.
+	out, err = exec.Command(bin,
+		"-engine", "cycle:n=64", "-enginerounds", "4", "-simworkers", "1",
+		"-faults", "loss:p=0.5").CombinedOutput()
+	if err != nil {
+		t.Fatalf("valid -faults run: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), `faults="loss:p=0.5"`) {
+		t.Errorf("summary = %q, want the fault spec echoed", out)
+	}
+	if !strings.Contains(string(out), "faultdrops=") {
+		t.Errorf("summary = %q, want the fault ledger reported", out)
+	}
+}

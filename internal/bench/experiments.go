@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"mucongest/internal/clique"
@@ -12,6 +13,7 @@ import (
 	"mucongest/internal/mergesim"
 	"mucongest/internal/sim"
 	"mucongest/internal/sketch"
+	"mucongest/internal/stream"
 	"mucongest/internal/streamsim"
 	"mucongest/internal/topo"
 	"mucongest/internal/trianglestats"
@@ -430,4 +432,249 @@ func E11E12(tp topo.Spec, seed int64) *Table {
 			"chunks, not the routing embedding; the space side of the tradeoff is "+
 			"isolated in expander.TestRouterAlphaTradeoffCharges")
 	return t
+}
+
+// E13 is the sketch-resilience family: the four mergeable summary kinds
+// (MG, GK, CountMin, AMS) aggregated up a BFS tree under seeded message
+// loss (sim.WithFaults), sweeping the loss rate. The aggregation is the
+// natural loss-tolerant variant of the Section 3 merge protocols: each
+// node ships its merged summary to its parent as M one-word messages in
+// one level-synchronous wave, and a parent merges a child's summary only
+// if all M words arrived — a single lost word discards that child's
+// whole subtree contribution. Coverage (fraction of the global stream
+// the root summary absorbed) and the kind's accuracy metric then
+// degrade gracefully and measurably with p, while peak memory tracks
+// how many complete child buffers survived. Every record carries the
+// fault-plan spec in its params, so downstream consumers can split
+// fault-free from faulty provenance.
+func E13(tp topo.Spec, seed int64) *Table {
+	rng := rand.New(rand.NewSource(seed))
+	g := buildGraph("E13", tp, rng)
+	mustConnected("E13", tp, g)
+	n := g.N()
+
+	// Deterministic BFS tree from node 0 (children in id order).
+	const root = 0
+	depth := make([]int, n)
+	parent := make([]int, n)
+	children := make([][]int, n)
+	for v := range depth {
+		depth[v], parent[v] = -1, -1
+	}
+	depth[root] = 0
+	queue := []int{root}
+	maxDepth := 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if depth[u] < 0 {
+				depth[u] = depth[v] + 1
+				parent[u] = v
+				children[v] = append(children[v], u)
+				if depth[u] > maxDepth {
+					maxDepth = depth[u]
+				}
+				queue = append(queue, u)
+			}
+		}
+	}
+
+	// Shared workload: the E8-style Zipf stream, plus the exact answers
+	// every kind's error metric compares against.
+	items := make([][]int64, n)
+	z := rand.NewZipf(rng, 1.25, 1, 29)
+	var m int64
+	exact := map[int64]int64{}
+	var all []int64
+	for v := range items {
+		for i := 0; i < 50; i++ {
+			x := int64(z.Uint64()) + 1
+			items[v] = append(items[v], x)
+			exact[x]++
+			m++
+			all = append(all, x)
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	var exactF2 float64
+	for _, c := range exact {
+		exactF2 += float64(c) * float64(c)
+	}
+	// rankErr is the normalized rank error of a quantile answer v for
+	// target rank phi·m, against the sorted exact stream.
+	rankErr := func(v int64, phi float64) float64 {
+		lo := sort.Search(len(all), func(i int) bool { return all[i] >= v })
+		hi := sort.Search(len(all), func(i int) bool { return all[i] > v })
+		target := phi * float64(m)
+		lod, hid := target-float64(hi), float64(lo)-target
+		e := lod
+		if hid > e {
+			e = hid
+		}
+		if e < 0 {
+			e = 0
+		}
+		return e / float64(m)
+	}
+
+	kinds := []struct {
+		name string
+		kind stream.Kind
+		err  func(sum stream.Summary) float64
+	}{
+		{"MG", sketch.NewMGKind(9), func(sum stream.Summary) float64 {
+			mg := sum.(*sketch.MG)
+			var maxErr int64
+			for x := int64(1); x <= 30; x++ {
+				if d := exact[x] - mg.Estimate(x); d > maxErr {
+					maxErr = d
+				}
+			}
+			return float64(maxErr)
+		}},
+		{"GK", sketch.NewGKKind(0.1, m), func(sum stream.Summary) float64 {
+			gk := sum.(*sketch.GK)
+			var worst float64
+			for _, phi := range []float64{0.25, 0.5, 0.75} {
+				if e := rankErr(gk.Query(phi), phi); e > worst {
+					worst = e
+				}
+			}
+			return worst
+		}},
+		{"CountMin", sketch.NewCountMinKind(4, 32, seed), func(sum stream.Summary) float64 {
+			cm := sum.(*sketch.CountMin)
+			var maxErr int64
+			for x := int64(1); x <= 30; x++ {
+				d := cm.Estimate(x) - exact[x]
+				if d < 0 {
+					d = -d
+				}
+				if d > maxErr {
+					maxErr = d
+				}
+			}
+			return float64(maxErr)
+		}},
+		{"AMS", sketch.NewAMSKind(4, 16, seed), func(sum stream.Summary) float64 {
+			d := float64(sum.(*sketch.AMS).EstimateF2()) - exactF2
+			if d < 0 {
+				d = -d
+			}
+			return d / exactF2
+		}},
+	}
+
+	t := &Table{
+		ID:     "E13",
+		Title:  fmt.Sprintf("sketch resilience under message loss, %s n=%d depth=%d", tp, n, maxDepth),
+		Claim:  "complete-subtree merge: coverage and accuracy degrade gracefully in the loss rate p",
+		Header: []string{"kind", "loss", "rounds", "coverage", "err", "peakWords", "faultDrops"},
+	}
+	for _, k := range kinds {
+		M := k.kind.M()
+		for _, loss := range []float64{0, 0.01, 0.05, 0.1, 0.2} {
+			var plan sim.FaultPlan
+			if loss > 0 {
+				plan = sim.FaultPlan{Loss: true, LossP: loss}
+			}
+			start := time.Now()
+			sum, res := runE13Tree(g, k.kind, items, depth, parent, children, maxDepth, plan, seed)
+			coverage := 0.0
+			if m > 0 {
+				coverage = float64(summaryCount(sum)) / float64(m)
+			}
+			errVal := k.err(sum)
+			t.AddRow(k.name, loss, res.Rounds, coverage, errVal, res.MaxPeakWords(), res.FaultDrops)
+			t.AddRecord(recordOf("E13", tp, 0,
+				P("kind", k.name, "M", M, "loss", loss, "faults", plan.String()),
+				res, time.Since(start)))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"loss=0 ⇒ coverage 1 and the kind's fault-free error bound holds",
+		"coverage falls with p (a lost word discards the child's whole subtree summary)",
+		"a child survives with probability (1-p)^M, so resilience is exponentially "+
+			"sensitive to M: large-M kinds (GK here) lose subtrees at far lower p than compact ones",
+		"peakWords shrinks with p: incomplete child buffers hold fewer delivered words")
+	return t
+}
+
+// runE13Tree executes one loss-swept aggregation: every node inserts its
+// local items, waits for its children's wave, merges the complete child
+// summaries in child order, and ships its own M words to its parent in
+// its level's wave round (edge cap M: one wave round per level). All
+// nodes tick in lockstep for exactly maxDepth rounds so every message
+// finds a live destination; only the fault layer drops words.
+func runE13Tree(g *graph.Graph, kind stream.Kind, items [][]int64,
+	depth, parent []int, children [][]int, maxDepth int,
+	plan sim.FaultPlan, seed int64) (stream.Summary, *sim.Result) {
+	M := kind.M()
+	n := g.N()
+	sums := make([]stream.Summary, n)
+	e := sim.New(g, sim.WithSeed(seed), sim.WithEdgeCap(M), sim.WithFaults(plan))
+	res, err := e.Run(func(c *sim.Ctx) {
+		id := c.ID()
+		own := kind.New()
+		stream.InsertAll(own, items[id])
+		c.Charge(int64(M))
+		kids := children[id]
+		bufs := make([][]int64, len(kids))
+		cnt := make([]int, len(kids))
+		slot := make(map[int]int, len(kids))
+		for i, u := range kids {
+			slot[u] = i
+		}
+		merge := func() {
+			for i := range kids {
+				if cnt[i] == M {
+					own.(stream.OneWayMergeable).MergeFrom(bufs[i])
+				}
+				c.Release(int64(cnt[i]))
+			}
+		}
+		sendRound := maxDepth - depth[id]
+		for r := 0; r < maxDepth; r++ {
+			if r == sendRound && id != 0 {
+				merge()
+				p := c.PortOf(parent[id])
+				for i, w := range own.Words() {
+					c.Send(p, sim.Msg{Kind: 13, A: int64(i), B: w})
+				}
+			}
+			for _, in := range c.Tick() {
+				i := slot[in.From]
+				if bufs[i] == nil {
+					bufs[i] = make([]int64, M)
+				}
+				bufs[i][in.Msg.A] = in.Msg.B
+				cnt[i]++
+				c.Charge(1)
+			}
+		}
+		if id == 0 {
+			merge()
+			sums[0] = kind.FromWords(append([]int64(nil), own.Words()...))
+		}
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: E13: %v", err))
+	}
+	return sums[0], res
+}
+
+// summaryCount reads the absorbed-element count every E13 kind exposes.
+func summaryCount(sum stream.Summary) int64 {
+	switch s := sum.(type) {
+	case *sketch.MG:
+		return s.Count()
+	case *sketch.GK:
+		return s.Count()
+	case *sketch.CountMin:
+		return s.Count()
+	case *sketch.AMS:
+		return s.Count()
+	}
+	panic(fmt.Sprintf("bench: E13: summary %T has no count", sum))
 }

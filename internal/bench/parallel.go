@@ -10,7 +10,7 @@ import (
 // Spec describes one independently runnable experiment cell: the grid of
 // README.md’s experiment map decomposed into units a worker pool can schedule. ID
 // names the cell (and feeds per-cell seed derivation); Exps lists the
-// experiment ids (E1..E12) the cell reproduces, so cmd/muexp can select
+// experiment ids (E1..E13) the cell reproduces, so cmd/muexp can select
 // cells by experiment; Topo is the topology spec of the cell's workload
 // graph (OverrideTopo substitutes another, re-running the experiment on
 // any registered family).
@@ -37,6 +37,7 @@ func Specs() []Spec {
 		{"E9", []string{"E9"}, "gnp:n=24,p=0.15,conn=1", E9},
 		{"E10", []string{"E10"}, "gnp:n=32,p=0.5", E10},
 		{"E11/E12", []string{"E11", "E12"}, "gnp:n=40,p=0.5", E11E12},
+		{"E13", []string{"E13"}, "gnp:n=24,p=0.15,conn=1", E13},
 	}
 }
 

@@ -128,10 +128,10 @@ func TestSelectSpecs(t *testing.T) {
 			}
 		}
 	}
-	// The grid must cover the full E1..E12 map.
+	// The grid must cover the full E1..E13 map.
 	ids := ExperimentIDs(specs)
-	if len(ids) != 12 {
-		t.Fatalf("experiment ids = %v, want E1..E12", ids)
+	if len(ids) != 13 {
+		t.Fatalf("experiment ids = %v, want E1..E13", ids)
 	}
 	for i, id := range ids {
 		if want := fmt.Sprintf("E%d", i+1); id != want {
@@ -141,7 +141,7 @@ func TestSelectSpecs(t *testing.T) {
 	if all, ok := SelectSpecs(specs, "all"); !ok || len(all) != len(specs) {
 		t.Fatal("SelectSpecs(all) must return the whole grid")
 	}
-	if _, ok := SelectSpecs(specs, "E13"); ok {
+	if _, ok := SelectSpecs(specs, "E14"); ok {
 		t.Fatal("unknown experiment must not select")
 	}
 }

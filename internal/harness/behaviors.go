@@ -10,7 +10,7 @@ import (
 // behaviorNames lists the node-program library in generator draw order.
 // Every entry keys Behaviors.
 var behaviorNames = []string{
-	"gossip", "broadcast", "chargeonly", "earlyfinish", "nodeerror", "strictpressure",
+	"gossip", "broadcast", "chargeonly", "earlyfinish", "nodeerror", "strictpressure", "restartaware",
 }
 
 // Behaviors maps a behavior name to its program constructor. Programs
@@ -106,6 +106,21 @@ var Behaviors = map[string]func(sc Scenario) func(refsim.NodeCtx){
 				if c.ID() == sc.FailNode && r == sc.FailRound {
 					panic(fmt.Sprintf("harness: node %d injected failure at round %d", c.ID(), r))
 				}
+			}
+		}
+	},
+
+	// restartaware: every execution leads with its Restarts() count and
+	// stamps it into each broadcast, so a crash/restart cycle changes
+	// both the output record and the message contents — any drift in
+	// restart accounting or in the state-reset semantics between the
+	// engines (or between execution modes) lands in the digests.
+	"restartaware": func(sc Scenario) func(refsim.NodeCtx) {
+		return func(c refsim.NodeCtx) {
+			c.Emit(int64(c.Restarts()))
+			for r := 0; r < sc.Rounds; r++ {
+				c.Broadcast(sim.Msg{Kind: 7, A: int64(c.ID()), B: int64(r), C: int64(c.Restarts())})
+				emitFold(c, c.Tick())
 			}
 		}
 	},

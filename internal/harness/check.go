@@ -56,6 +56,14 @@ type Outcome struct {
 	// production engine at every worker count, and through
 	// refsim.DriveSteps on the reference engine.
 	Stepped bool
+	// Faulty reports a non-empty fault plan; the counters echo the
+	// agreed-upon fault ledger so the corpus test can assert the plans
+	// actually bit (real crashes, real restarts, real fault drops) and
+	// not just parsed.
+	Faulty     bool
+	Crashes    int64
+	Restarts   int64
+	FaultDrops int64
 }
 
 // simStep adapts an engine-agnostic refsim.StepNode machine to the
@@ -86,22 +94,34 @@ func CheckScenario(sc Scenario, workers ...int) (Outcome, error) {
 		return Outcome{}, fmt.Errorf("harness: unknown behavior %q", sc.Behavior)
 	}
 	program := mk(sc)
+	plan, err := sim.ParseFaults(sc.Faults)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("harness: fault spec %q: %w", sc.Faults, err)
+	}
 	cfg := refsim.Config{
 		Mu:      sc.Mu,
 		Seed:    sc.Seed,
 		EdgeCap: sc.EdgeCap,
 		Order:   sc.Order,
 		Strict:  sc.Strict,
+		Faults:  plan,
 	}
 
 	ref := refsim.New(g, cfg)
 	refRes, refErr := ref.Run(program)
-	out := Outcome{Aborted: refErr != nil, Violations: len(refRes.Violations)}
+	out := Outcome{
+		Aborted:    refErr != nil,
+		Violations: len(refRes.Violations),
+		Faulty:     !plan.Empty(),
+		Crashes:    refRes.Crashes,
+		Restarts:   refRes.Restarts,
+		FaultDrops: refRes.FaultDrops,
+	}
 
 	engineOpts := func(w int) []sim.Option {
 		opts := []sim.Option{
 			sim.WithMu(sc.Mu), sim.WithSeed(sc.Seed), sim.WithEdgeCap(sc.EdgeCap),
-			sim.WithInboxOrder(sc.Order), sim.WithSimWorkers(w),
+			sim.WithInboxOrder(sc.Order), sim.WithSimWorkers(w), sim.WithFaults(plan),
 		}
 		if sc.Strict {
 			opts = append(opts, sim.WithStrictMemory())
@@ -143,7 +163,7 @@ func CheckScenario(sc Scenario, workers ...int) (Outcome, error) {
 		}
 		out.Stepped = true
 	}
-	return out, checkInvariants(sc, refRes, ref.Stats())
+	return out, checkInvariants(sc, plan, refRes, refErr, ref.Stats())
 }
 
 func compareErrors(ref, got error) error {
@@ -169,6 +189,15 @@ func compareResults(ref, got *sim.Result) error {
 	}
 	if ref.Dropped != got.Dropped {
 		return fmt.Errorf("dropped: reference %d, engine %d", ref.Dropped, got.Dropped)
+	}
+	if ref.FaultDrops != got.FaultDrops {
+		return fmt.Errorf("fault drops: reference %d, engine %d", ref.FaultDrops, got.FaultDrops)
+	}
+	if ref.Crashes != got.Crashes {
+		return fmt.Errorf("crashes: reference %d, engine %d", ref.Crashes, got.Crashes)
+	}
+	if ref.Restarts != got.Restarts {
+		return fmt.Errorf("restarts: reference %d, engine %d", ref.Restarts, got.Restarts)
 	}
 	if len(ref.Outputs) != len(got.Outputs) {
 		return fmt.Errorf("node count: reference %d, engine %d", len(ref.Outputs), len(got.Outputs))
@@ -196,19 +225,49 @@ func compareResults(ref, got *sim.Result) error {
 // checkInvariants verifies the metamorphic properties the reference
 // run's ledger implies — true for any correct engine regardless of the
 // scenario drawn.
-func checkInvariants(sc Scenario, res *sim.Result, st *refsim.Stats) error {
-	var delivered, dropped int64
+func checkInvariants(sc Scenario, plan sim.FaultPlan, res *sim.Result, runErr error, st *refsim.Stats) error {
+	var delivered, dropped, faultDropped int64
 	for r, rs := range st.PerRound {
 		if rs.Sent != rs.Delivered+rs.Dropped {
 			return fmt.Errorf("round %d conservation: sent %d != delivered %d + dropped %d",
 				r, rs.Sent, rs.Delivered, rs.Dropped)
 		}
+		// Fault drops are a subset of the conserved drop ledger, never a
+		// separate pool: a fault-dropped message was still sent and still
+		// counts against Dropped.
+		if rs.DroppedFault < 0 || rs.DroppedFault > rs.Dropped {
+			return fmt.Errorf("round %d: fault drops %d outside total drops %d", r, rs.DroppedFault, rs.Dropped)
+		}
 		delivered += rs.Delivered
 		dropped += rs.Dropped
+		faultDropped += rs.DroppedFault
 	}
 	if delivered != res.Messages || dropped != res.Dropped {
 		return fmt.Errorf("ledger totals (%d delivered, %d dropped) != result (%d, %d)",
 			delivered, dropped, res.Messages, res.Dropped)
+	}
+	if faultDropped != res.FaultDrops {
+		return fmt.Errorf("per-round fault drops sum to %d, result records %d", faultDropped, res.FaultDrops)
+	}
+	if plan.Empty() && (res.FaultDrops != 0 || res.Crashes != 0 || res.Restarts != 0) {
+		return fmt.Errorf("fault-free run has non-zero fault ledger: drops=%d crashes=%d restarts=%d",
+			res.FaultDrops, res.Crashes, res.Restarts)
+	}
+	if !plan.Crash && (res.Crashes != 0 || res.Restarts != 0) {
+		return fmt.Errorf("plan without crashes recorded crashes=%d restarts=%d", res.Crashes, res.Restarts)
+	}
+	if !plan.Loss && !plan.EdgeDown && !plan.Crash && res.FaultDrops != 0 {
+		return fmt.Errorf("plan drops nothing but FaultDrops=%d", res.FaultDrops)
+	}
+	if res.Restarts > res.Crashes {
+		return fmt.Errorf("more restarts (%d) than crashes (%d)", res.Restarts, res.Crashes)
+	}
+	// A completed run has no parked nodes left: every crash was restarted
+	// and the node finished. Only an abort may strand crashed-not-yet-
+	// restarted nodes.
+	if runErr == nil && res.Restarts != res.Crashes {
+		return fmt.Errorf("completed run stranded %d crashed nodes (crashes=%d restarts=%d)",
+			res.Crashes-res.Restarts, res.Crashes, res.Restarts)
 	}
 	for v, w := range st.MaxInboxWords {
 		if res.PeakWords[v] < w {
@@ -225,8 +284,16 @@ func checkInvariants(sc Scenario, res *sim.Result, st *refsim.Stats) error {
 		if res.PeakWords[vio.Node] < vio.Words {
 			return fmt.Errorf("violation %+v exceeds node peak %d", vio, res.PeakWords[vio.Node])
 		}
-		if vio.OverRounds < 1 || vio.Round < 0 || vio.Round >= res.Rounds+1 {
-			return fmt.Errorf("violation %+v out of range (rounds=%d)", vio, res.Rounds)
+		// Bound by the wall-round ledger, not res.Rounds: Rounds is the
+		// max per-node tick count, and a crash/restart cycle resets a
+		// node's ticks, so a faulty run's violations can legitimately be
+		// stamped past it.
+		wall := len(st.PerRound)
+		if wall < res.Rounds {
+			wall = res.Rounds
+		}
+		if vio.OverRounds < 1 || vio.Round < 0 || vio.Round >= wall+1 {
+			return fmt.Errorf("violation %+v out of range (rounds=%d, wall=%d)", vio, res.Rounds, wall)
 		}
 	}
 	return nil

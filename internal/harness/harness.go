@@ -3,9 +3,11 @@
 // scenarios across every axis the μ-CONGEST engine exposes — topology
 // family (drawn from the internal/topo registry), node count (including
 // multi-shard sizes), memory bound μ, strict vs lenient enforcement,
-// inbox order, edge capacity, and a library of node behaviors
-// (broadcast-heavy, charge-only, early-finish, mid-run node error,
-// RNG-driven gossip, strict-μ pressure) — and runs each scenario on the
+// inbox order, edge capacity, seeded fault plans (message loss, node
+// crash/restart, edge churn — see sim.FaultPlan), and a library of node
+// behaviors (broadcast-heavy, charge-only, early-finish, mid-run node
+// error, RNG-driven gossip, strict-μ pressure, restart-aware) — and
+// runs each scenario on the
 // reference engine and on the production engine at several worker
 // counts, requiring byte-identical results: digests over outputs (the
 // behaviors emit an order-sensitive fold per round, so the comparison is
@@ -65,12 +67,17 @@ type Scenario struct {
 	Rounds    int
 	FailNode  int
 	FailRound int
+	// Faults is the sim.FaultPlan spec both engines run under ("" for a
+	// fault-free scenario). Kept as the canonical spec string so the
+	// scenario stays printable and the spec parser sits on the oracle
+	// path too.
+	Faults string
 }
 
 func (s Scenario) String() string {
-	return fmt.Sprintf("{%s on %q n=%d implicit=%v seed=%d toposeed=%d mu=%d strict=%v order=%d cap=%d rounds=%d fail=%d@%d}",
+	return fmt.Sprintf("{%s on %q n=%d implicit=%v seed=%d toposeed=%d mu=%d strict=%v order=%d cap=%d rounds=%d fail=%d@%d faults=%q}",
 		s.Behavior, s.TopoSpec, s.N, s.Implicit, s.Seed, s.TopoSeed, s.Mu, s.Strict, s.Order, s.EdgeCap,
-		s.Rounds, s.FailNode, s.FailRound)
+		s.Rounds, s.FailNode, s.FailRound, s.Faults)
 }
 
 // Generate draws one scenario from rng. Every draw is valid by
@@ -103,7 +110,39 @@ func Generate(rng *rand.Rand) Scenario {
 		sc.FailNode = rng.Intn(n)
 		sc.FailRound = rng.Intn(sc.Rounds)
 	}
+	// Faults: ~40% of scenarios run under a fault plan, so the oracle
+	// certifies engine/refsim parity under failure as a matter of course
+	// rather than in a dedicated suite.
+	if rng.Intn(5) < 2 {
+		sc.Faults = drawFaults(rng, n)
+	}
 	return sc
+}
+
+// drawFaults composes a non-empty fault plan: each non-empty subset of
+// {loss, crash, edgedown} is drawn uniformly, with rates high enough to
+// bite within the short scenario horizons. The crash rate is scaled down
+// an order of magnitude on multi-shard topologies — the run only ends
+// once every node has finished an uninterrupted execution, and at large
+// n an aggressive crash rate makes that horizon excessively long.
+func drawFaults(rng *rand.Rand, n int) string {
+	var p sim.FaultPlan
+	mask := 1 + rng.Intn(7)
+	if mask&1 != 0 {
+		p.Loss, p.LossP = true, 0.05+0.45*rng.Float64()
+	}
+	if mask&2 != 0 {
+		p.Crash = true
+		p.CrashP = 0.02 + 0.28*rng.Float64()
+		if n > sim.ShardSpan {
+			p.CrashP /= 10
+		}
+		p.Restart = 1 + rng.Intn(4)
+	}
+	if mask&4 != 0 {
+		p.EdgeDown, p.EdgeDownP, p.Up = true, 0.05+0.35*rng.Float64(), 1+rng.Intn(3)
+	}
+	return p.String()
 }
 
 // Corpus derives k scenarios from one master seed.

@@ -38,7 +38,8 @@ func TestDifferentialEngineRandomized(t *testing.T) {
 	strict := map[bool]int{}
 	behaviors := map[string]int{}
 	stepped := map[string]int{}
-	multiShard, bounded, aborted, violated, implicit := 0, 0, 0, 0, 0
+	multiShard, bounded, aborted, violated, implicit, faulty := 0, 0, 0, 0, 0, 0
+	var crashes, restarts, faultDrops int64
 
 	for i, sc := range scs {
 		out, err := CheckScenario(sc, 1, 4)
@@ -69,13 +70,19 @@ func TestDifferentialEngineRandomized(t *testing.T) {
 		if out.Violations > 0 {
 			violated++
 		}
+		if out.Faulty {
+			faulty++
+		}
+		crashes += out.Crashes
+		restarts += out.Restarts
+		faultDrops += out.FaultDrops
 	}
 	if t.Failed() {
 		return
 	}
 
-	t.Logf("corpus: families=%v orders=%v strict=%v behaviors=%v multiShard=%d bounded=%d aborted=%d violated=%d implicit=%d",
-		families, orders, strict, behaviors, multiShard, bounded, aborted, violated, implicit)
+	t.Logf("corpus: families=%v orders=%v strict=%v behaviors=%v multiShard=%d bounded=%d aborted=%d violated=%d implicit=%d faulty=%d crashes=%d restarts=%d faultDrops=%d",
+		families, orders, strict, behaviors, multiShard, bounded, aborted, violated, implicit, faulty, crashes, restarts, faultDrops)
 	// Every registered family must be drawn: a family added to the topo
 	// registry without a drawTopo case fails here until the generator
 	// (and so the oracle) covers it.
@@ -115,6 +122,16 @@ func TestDifferentialEngineRandomized(t *testing.T) {
 	if bounded == 0 || violated == 0 || aborted == 0 {
 		t.Errorf("corpus must exercise bounded μ (%d), violations (%d) and aborts (%d)",
 			bounded, violated, aborted)
+	}
+	// The fault axis must bite, not just parse: a meaningful share of
+	// faulty scenarios, and real crashes, restarts and fault-induced
+	// drops somewhere in the corpus — otherwise the parity claim "the
+	// engines agree under failure" is vacuous.
+	if faulty == 0 {
+		t.Error("corpus never drew a faulty scenario")
+	}
+	if crashes == 0 || restarts == 0 || faultDrops == 0 {
+		t.Errorf("fault plans never bit: crashes=%d restarts=%d faultDrops=%d", crashes, restarts, faultDrops)
 	}
 }
 

@@ -41,6 +41,9 @@ var StepBehaviors = map[string]func(sc Scenario) func(refsim.NodeCtx) refsim.Ste
 	"strictpressure": func(sc Scenario) func(refsim.NodeCtx) refsim.StepNode {
 		return func(refsim.NodeCtx) refsim.StepNode { return &strictPressureStep{sc: sc} }
 	},
+	"restartaware": func(sc Scenario) func(refsim.NodeCtx) refsim.StepNode {
+		return func(refsim.NodeCtx) refsim.StepNode { return &restartAwareStep{sc: sc} }
+	},
 }
 
 type gossipStep struct {
@@ -150,6 +153,31 @@ func (s *nodeErrorStep) Step(c refsim.NodeCtx, in []sim.Incoming) bool {
 		return false
 	}
 	c.Broadcast(sim.Msg{Kind: 5, A: int64(c.ID()), B: int64(s.r)})
+	s.r++
+	return true
+}
+
+// restartAwareStep relies on the restart semantics of the step runtime
+// for its reset: a restarted node gets a fresh machine from the factory,
+// so the execution-start emit fires again with the bumped Restarts().
+type restartAwareStep struct {
+	sc      Scenario
+	r       int
+	started bool
+}
+
+func (s *restartAwareStep) Step(c refsim.NodeCtx, in []sim.Incoming) bool {
+	if !s.started {
+		c.Emit(int64(c.Restarts()))
+		s.started = true
+	}
+	if s.r > 0 {
+		emitFold(c, in)
+	}
+	if s.r >= s.sc.Rounds {
+		return false
+	}
+	c.Broadcast(sim.Msg{Kind: 7, A: int64(c.ID()), B: int64(s.r), C: int64(c.Restarts())})
 	s.r++
 	return true
 }

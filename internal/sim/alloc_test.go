@@ -41,6 +41,21 @@ func TestSteadyStateRoundAllocFree(t *testing.T) {
 			runErr = err
 		}
 	}
+	// The empty-plan twin pins that merely passing WithFaults with a
+	// zero FaultPlan keeps the allocation-free hot path: hasFaults stays
+	// false, so no fault branch, stream or scratch is ever touched.
+	runEmptyFaults := func(rounds int, workers int) {
+		e := New(topo, WithSeed(1), WithSimWorkers(workers), WithFaults(FaultPlan{}))
+		program := func(c *Ctx) {
+			for r := 0; r < rounds; r++ {
+				c.Broadcast(Msg{Kind: 1, A: int64(c.ID()), B: int64(r)})
+				c.Tick()
+			}
+		}
+		if _, err := e.Run(program); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
 	// The step-mode twin drives the same broadcast workload through the
 	// goroutine-free runtime: its per-round path (step dispatch, inline
 	// Step calls, outbox staging) must be exactly as allocation-free as
@@ -60,7 +75,7 @@ func TestSteadyStateRoundAllocFree(t *testing.T) {
 	for _, mode := range []struct {
 		name string
 		run  func(rounds, workers int)
-	}{{"goroutine", run}, {"step", runStep}} {
+	}{{"goroutine", run}, {"step", runStep}, {"emptyfaults", runEmptyFaults}} {
 		for _, workers := range []int{1, 4} {
 			short := testing.AllocsPerRun(5, func() { mode.run(base, workers) })
 			full := testing.AllocsPerRun(5, func() { mode.run(long, workers) })

@@ -126,7 +126,15 @@ func (c *Ctx) Rand() *rand.Rand {
 }
 
 // Round returns the number of Tick calls this node has performed.
+// A fault-layer restart resets the count: the restarted program is a
+// fresh execution and sees Round() grow from 0 again.
 func (c *Ctx) Round() int { return c.rt.ticks }
+
+// Restarts returns how many times this node has been crashed and
+// restarted by the fault layer (see WithFaults). Always 0 in
+// fault-free runs; a freshly restarted program observes the
+// incremented count from its first instruction.
+func (c *Ctx) Restarts() int { return c.rt.restarts }
 
 // meter charges one message against the per-edge cap of port, growing
 // the stamped count array to cover it first.
@@ -270,6 +278,14 @@ func (c *Ctx) Tick() []Incoming {
 	}
 	c.eng.arrive()
 	in := <-rt.resume
+	// The crash check precedes the abort check: the fault point only
+	// crashes nodes on non-aborted rounds, and a crashing node must
+	// unwind through the crashAck handshake, not the abort path. The
+	// resume receive orders the engine's serial crashing write before
+	// this read.
+	if rt.crashing {
+		panic(errCrash)
+	}
 	if c.eng.aborted {
 		panic(errAbort)
 	}

@@ -83,7 +83,18 @@ type shardState struct {
 	xfer     [][]routed
 	messages int64 // delivered to this shard's destinations, whole run
 	dropped  int64 // dropped by this shard's senders, whole run
-	over     []overrun
+	// faultDropped is the fault-induced subset of dropped (loss draws,
+	// down edges, parked destinations). Only counted when a fault plan
+	// is active.
+	faultDropped int64
+	over         []overrun
+
+	// frng is the shard's fault-stream RNG, created only when a fault
+	// plan is active. It is re-seeded at every use point from
+	// FaultStreamSeed — with the crash tag at the serial fault point,
+	// with the loss tag at the top of the shard's route phase — so one
+	// source serves both streams without interference.
+	frng *rand.Rand
 
 	// Barrier bookkeeping staged by phaseRoute and drained (and reset)
 	// by the engine between phases: how many of the shard's nodes
@@ -156,6 +167,10 @@ func (e *Engine) initShards(sc *runScratch) {
 		st.over = st.over[:0]
 		st.messages = 0
 		st.dropped = 0
+		st.faultDropped = 0
+		if e.hasFaults && st.frng == nil {
+			st.frng = rand.New(rand.NewSource(FaultStreamSeed(e.seed, 0, s, FaultKindCrash)))
+		}
 		st.newlyFinished = 0
 		st.newlyFinishedG = 0
 		st.err = nil
@@ -182,7 +197,7 @@ func (e *Engine) shardPhase(k phaseKind, s int) {
 		e.accountShard(e.shards[s], s, lo, hi, true)
 	case phaseResume:
 		for id := lo; id < hi; id++ {
-			if rt := &e.nodes[id]; !rt.finished {
+			if rt := &e.nodes[id]; !rt.finished && !rt.parked {
 				e.resumeNode(id, rt)
 			}
 		}
@@ -211,6 +226,23 @@ func (e *Engine) shardPhase(k phaseKind, s int) {
 func (e *Engine) routeShard(st *shardState, lo, hi int) {
 	nodes := e.nodes
 	senderOut := e.senderOut
+	// Fault state for the round, resolved once per shard: the loss
+	// stream is re-keyed (seed, round, shard) here, consumed below once
+	// per message that survived the earlier drop checks, in ascending
+	// sender id and send order — the exact walk refsim replays.
+	faults := e.hasFaults
+	var (
+		fp   FaultPlan
+		lrng *rand.Rand
+	)
+	round := e.round
+	if faults {
+		fp = e.faults
+		if fp.Loss {
+			lrng = st.frng
+			lrng.Seed(FaultStreamSeed(e.seed, round, lo/ShardSpan, FaultKindLoss))
+		}
+	}
 	for id := lo; id < hi; id++ {
 		rt := &nodes[id]
 		if rt.finished {
@@ -226,7 +258,11 @@ func (e *Engine) routeShard(st *shardState, lo, hi int) {
 		}
 		if rt.done {
 			st.newlyFinished++
-			if rt.step == nil {
+			// A node the abort path terminated while parked has no
+			// goroutine behind its done bit (it left the barrier
+			// population when it crashed), so it must not be subtracted
+			// from the arrival population again.
+			if rt.step == nil && !rt.parked {
 				st.newlyFinishedG++
 			}
 			if rt.nodeErr != nil {
@@ -245,6 +281,28 @@ func (e *Engine) routeShard(st *shardState, lo, hi int) {
 			if nodes[m.to].done {
 				st.dropped++
 				continue
+			}
+			if faults {
+				// Drop order is part of the determinism contract: parked
+				// destination, then down edge, then the loss draw — the
+				// draw is consumed only for messages surviving the first
+				// two, so the stream position is a pure function of the
+				// (deterministic) message sequence.
+				if nodes[m.to].parked {
+					st.dropped++
+					st.faultDropped++
+					continue
+				}
+				if fp.EdgeDown && fp.EdgeIsDown(e.seed, round, m.from, m.to) {
+					st.dropped++
+					st.faultDropped++
+					continue
+				}
+				if lrng != nil && lrng.Float64() < fp.LossP {
+					st.dropped++
+					st.faultDropped++
+					continue
+				}
 			}
 			t := m.to / ShardSpan
 			st.xfer[t] = append(st.xfer[t], m)
@@ -287,6 +345,12 @@ func (e *Engine) accountShard(st *shardState, s, lo, hi int, resume bool) {
 			// pre-barrier engine skipped nodes it had just collected as
 			// finished the same way.
 			rt.finished = true
+			continue
+		}
+		if rt.parked {
+			// Crashed and awaiting restart: nothing was delivered (the
+			// route phase dropped it), the node holds no memory, and
+			// there is no goroutine or step machine to resume.
 			continue
 		}
 		if len(rt.inbox) > 0 && order != OrderBySender {

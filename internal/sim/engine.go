@@ -31,9 +31,21 @@ type Result struct {
 	Rounds int
 	// Messages is the total number of messages delivered.
 	Messages int64
-	// Dropped counts messages addressed to nodes that had already
-	// terminated.
+	// Dropped counts undelivered messages: messages addressed to nodes
+	// that had already terminated, plus — when a fault plan is active —
+	// messages lost to injected faults. Sent = Messages + Dropped
+	// always holds; FaultDrops is the fault-induced subset.
 	Dropped int64
+	// FaultDrops counts the messages dropped by the fault layer
+	// (message loss, down edges, parked destinations). Always ≤ Dropped
+	// and 0 without WithFaults.
+	FaultDrops int64
+	// Crashes counts fault-layer node crashes over the whole run;
+	// Restarts counts the crashed nodes that were restarted (a node
+	// still parked — or terminated by an abort while parked — when the
+	// run ends has crashed without restarting).
+	Crashes  int64
+	Restarts int64
 	// Outputs holds, per node, the values emitted via Ctx.Emit.
 	Outputs [][]any
 	// PeakWords holds, per node, the peak live memory in words
@@ -161,16 +173,29 @@ type Engine struct {
 	topoAt   IndexedTopology
 	topoPort PortedTopology
 
-	n       int
-	round   int
-	nodes   []nodeRT
-	ctxs    []Ctx   // flat per-node Ctx slots, from the run scratch
-	prog    Program // bound program, set only while phaseBind runs
+	n     int
+	round int
+	nodes []nodeRT
+	ctxs  []Ctx // flat per-node Ctx slots, from the run scratch
+	// prog is the bound program, retained for the whole run (not just
+	// phaseBind) so the fault layer can re-invoke Node on restart.
+	prog    Program
 	aborted bool
 	runErr  error
 
 	messages int64
 	dropped  int64
+
+	// Fault-injection state (see faults.go). hasFaults gates every
+	// fault branch so an empty plan keeps the fault-free hot path
+	// byte-identical and allocation-free.
+	faults    FaultPlan
+	hasFaults bool
+	crashAck  chan struct{} // crash unwind handshake (see crashNode)
+	crashes   int64
+	restarts  int64
+	parkedN   int       // currently parked nodes
+	restartG  []goSpawn // goroutine-form restarts staged this fault point
 
 	// Zero-channel barrier: every goroutine-form node that was resumed
 	// into a round arrives back at the engine exactly once — by
@@ -233,10 +258,20 @@ type nodeRT struct {
 	// finished is the engine-side acknowledgment of done, set by the
 	// owning shard's account phase. Only same-shard phase code reads it
 	// concurrently, keeping cross-shard reads on the immutable done bit.
-	finished  bool
-	outputs   []any
-	violation bool // a Violation was already recorded for this node (dedup)
-	vioIdx    int  // index of this node's Violation in the run's slice
+	finished bool
+	// Fault-layer state, all written at the serial fault point (or, for
+	// crashing, read once by the unwinding node under the resume
+	// channel's happens-before edge). parked means the node crashed and
+	// awaits restart at restartRound; it stays set on a node the abort
+	// path terminates while parked, marking that no goroutine backs the
+	// done bit (the barrier population must not be decremented for it).
+	parked       bool
+	crashing     bool // node is being unwound by crashNode right now
+	restartRound int
+	restarts     int
+	outputs      []any
+	violation    bool // a Violation was already recorded for this node (dedup)
+	vioIdx       int  // index of this node's Violation in the run's slice
 }
 
 // runScratch is the per-run state whose allocation and zeroing dominate
@@ -284,6 +319,10 @@ func grab(n int) *runScratch {
 		rt.finished = false
 		rt.violation = false
 		rt.vioIdx = 0
+		rt.parked = false
+		rt.crashing = false
+		rt.restartRound = 0
+		rt.restarts = 0
 	}
 	return sc
 }
@@ -371,6 +410,13 @@ func (e *Engine) RunProgram(p Program) (*Result, error) {
 	e.runErr = nil
 	e.messages = 0
 	e.dropped = 0
+	e.crashes = 0
+	e.restarts = 0
+	e.parkedN = 0
+	e.prog = p
+	if e.hasFaults && e.crashAck == nil {
+		e.crashAck = make(chan struct{})
+	}
 	var violations []Violation
 
 	e.initShards(sc)
@@ -425,6 +471,13 @@ func (e *Engine) RunProgram(p Program) (*Result, error) {
 		// every channel operation — entirely.
 		if activeG > 0 {
 			<-e.wake
+		}
+		// Serial fault point: with every node quiescent (goroutine nodes
+		// parked in Tick, stepped nodes between phases), draw this
+		// round's crash decisions and perform due restarts. Worker count
+		// and execution mode are invisible here by construction.
+		if e.hasFaults {
+			activeG += e.applyFaults()
 		}
 		// The route phase also performs the barrier bookkeeping the old
 		// serial collect loop did — poisoning retired inboxes, counting
@@ -493,13 +546,18 @@ func (e *Engine) RunProgram(p Program) (*Result, error) {
 		}
 	}
 
+	var faultDrops int64
 	for _, st := range e.shards {
 		e.messages += st.messages
 		e.dropped += st.dropped
+		faultDrops += st.faultDropped
 	}
 	res := &Result{
 		Messages:   e.messages,
 		Dropped:    e.dropped,
+		FaultDrops: faultDrops,
+		Crashes:    e.crashes,
+		Restarts:   e.restarts,
 		Outputs:    make([][]any, e.n),
 		PeakWords:  make([]int64, e.n),
 		Violations: violations,
@@ -517,7 +575,7 @@ func (e *Engine) RunProgram(p Program) (*Result, error) {
 	// touch was inside a completed phase), so the scratch can go back
 	// to the pool.
 	sc.release()
-	e.nodes, e.ctxs, e.senderOut, e.shards = nil, nil, nil, nil
+	e.nodes, e.ctxs, e.senderOut, e.shards, e.prog = nil, nil, nil, nil, nil
 	return res, e.runErr
 }
 
@@ -632,10 +690,23 @@ func poisonStale(rt *nodeRT) {
 
 var errAbort = errors.New("sim: run aborted")
 
+// errCrash unwinds a goroutine-form node the fault layer crashed: the
+// node's Tick panics it after the crash resume, and runNode's recover
+// turns it into the crashAck handshake instead of a termination.
+var errCrash = errors.New("sim: node crashed by fault injection")
+
 func runNode(ctx *Ctx, program func(*Ctx)) {
 	defer func() {
 		var err error
 		if r := recover(); r != nil {
+			if e, ok := r.(error); ok && errors.Is(e, errCrash) {
+				// Crashed by the fault layer: the node is parked, not
+				// terminated. Publish nothing and do not arrive — the
+				// fault point already removed this node from the barrier
+				// population and owns the slot until restart.
+				ctx.eng.crashAck <- struct{}{}
+				return
+			}
 			if e, ok := r.(error); ok && (errors.Is(e, errAbort) || errors.Is(e, ErrMemory)) {
 				err = e
 			} else {

@@ -72,7 +72,12 @@ func (c *Ctx) Rand() *rand.Rand {
 }
 
 // Round returns the number of Tick calls this node has performed.
+// A fault-layer restart resets the count, like sim.Ctx.Round.
 func (c *Ctx) Round() int { return c.e.nodes[c.id].ticks }
+
+// Restarts returns how many times this node has been crashed and
+// restarted by the fault layer, like sim.Ctx.Restarts.
+func (c *Ctx) Restarts() int { return c.e.nodes[c.id].restarts }
 
 func (c *Ctx) meter(port int) {
 	// A negative configured cap stays fail-fast on the first Send,
@@ -124,6 +129,12 @@ func (c *Ctx) Tick() []sim.Incoming {
 	clear(c.sent)
 	c.e.step <- struct{}{}
 	<-nd.resume
+	// Crash precedes abort, mirroring sim.Ctx.Tick: the fault point
+	// only crashes nodes on non-aborted rounds, and a crashing node
+	// must unwind through the crash handshake, not the abort path.
+	if nd.crashing {
+		panic(errCrash)
+	}
 	if c.e.aborted {
 		panic(errAbort)
 	}

@@ -52,6 +52,8 @@ type NodeCtx interface {
 	// Private deterministic RNG (stream keyed by engine seed and id).
 	Rand() *rand.Rand
 	Round() int
+	// Restarts counts the node's fault-layer crash/restart cycles.
+	Restarts() int
 	// Messaging.
 	Send(port int, m sim.Msg)
 	SendID(id int, m sim.Msg)
@@ -83,6 +85,10 @@ type Config struct {
 	Order     sim.InboxOrder
 	Strict    bool
 	MaxRounds int // 0 selects the default limit 2,000,000
+	// Faults mirrors sim.WithFaults: the same plan must produce
+	// bit-identical crashes, restarts and drops on both engines, since
+	// every fault decision derives from sim.FaultStreamSeed.
+	Faults sim.FaultPlan
 }
 
 // RoundStats is the reference engine's per-round message ledger,
@@ -94,6 +100,10 @@ type RoundStats struct {
 	Sent      int64
 	Delivered int64
 	Dropped   int64
+	// DroppedFault is the fault-induced subset of Dropped this round:
+	// loss draws, down edges and parked destinations. The finished-node
+	// drops the ledger always counted are Dropped - DroppedFault.
+	DroppedFault int64
 }
 
 // Stats is the side-channel record a reference run produces on top of
@@ -116,9 +126,12 @@ type Engine struct {
 	aborted bool
 	runErr  error
 
-	messages int64
-	dropped  int64
-	stats    Stats
+	messages   int64
+	dropped    int64
+	faultDrops int64
+	crashes    int64
+	restarts   int64
+	stats      Stats
 }
 
 type nodeState struct {
@@ -139,6 +152,13 @@ type nodeState struct {
 	outputs    []any
 	violation  bool
 	vioIdx     int
+	// Fault-layer state, mirroring sim.nodeRT: parked nodes crashed and
+	// await restart at restartRound; crashing flags the node currently
+	// being unwound through the errCrash panic.
+	parked       bool
+	crashing     bool
+	restartRound int
+	restarts     int
 }
 
 type staged struct {
@@ -148,6 +168,11 @@ type staged struct {
 
 // errAbort is the engine→node unwind sentinel, mirroring sim's.
 var errAbort = errors.New("refsim: run aborted")
+
+// errCrash unwinds a node the fault layer crashed, mirroring sim's:
+// the crash is a parking, not a termination, so runNode publishes
+// nothing when it recovers this sentinel.
+var errCrash = errors.New("refsim: node crashed by fault injection")
 
 // New creates a reference engine over topo.
 func New(topo sim.Topology, cfg Config) *Engine {
@@ -179,6 +204,9 @@ func (e *Engine) Run(program func(NodeCtx)) (*sim.Result, error) {
 	e.runErr = nil
 	e.messages = 0
 	e.dropped = 0
+	e.faultDrops = 0
+	e.crashes = 0
+	e.restarts = 0
 	e.stats = Stats{MaxInboxWords: make([]int64, n)}
 	nshards := (n + sim.ShardSpan - 1) / sim.ShardSpan
 	if nshards < 1 {
@@ -204,6 +232,16 @@ func (e *Engine) Run(program func(NodeCtx)) (*sim.Result, error) {
 	for active > 0 {
 		// Barrier: every live node has yielded (staged its outbox, and —
 		// if it terminated — published done and its error).
+
+		// 0. Fault point, mirroring the production engine's: before this
+		// barrier's terminations are even collected, perform the restarts
+		// due this round and draw crash decisions from per-shard streams
+		// keyed (seed, round, shard) in ascending shard and node order.
+		// On an aborted run, terminate parked nodes instead so the run
+		// can end.
+		if !e.cfg.Faults.Empty() {
+			e.applyFaults(round, program)
+		}
 
 		// 1. Collect newly terminated nodes; the reported error is
 		// deterministically the lowest failing node's, skipping the
@@ -238,10 +276,26 @@ func (e *Engine) Run(program func(NodeCtx)) (*sim.Result, error) {
 			}
 		}
 		// 3. Route: ascending sender id, send order within a sender.
-		// Messages to terminated nodes are dropped.
+		// Messages to terminated nodes are dropped; with a fault plan
+		// active, the production engine's drop chain follows — parked
+		// destination, down edge, then the loss draw from the sender
+		// shard's per-round stream, consumed only for messages that
+		// survived the earlier checks. The fault keys use r, the
+		// pre-increment round counter, exactly like the engine's route
+		// phase (which runs before its round increment).
 		var rs RoundStats
+		fp := e.cfg.Faults
+		haveFaults := !fp.Empty()
+		var lrng *rand.Rand
+		curShard := -1
 		for id := range e.nodes {
 			nd := &e.nodes[id]
+			if haveFaults && fp.Loss {
+				if s := id / sim.ShardSpan; s != curShard {
+					curShard = s
+					lrng = rand.New(rand.NewSource(sim.FaultStreamSeed(e.cfg.Seed, r, s, sim.FaultKindLoss)))
+				}
+			}
 			out := nd.staged
 			nd.staged = nil
 			rs.Sent += int64(len(out))
@@ -250,6 +304,23 @@ func (e *Engine) Run(program func(NodeCtx)) (*sim.Result, error) {
 					rs.Dropped++
 					continue
 				}
+				if haveFaults {
+					if e.nodes[m.to].parked {
+						rs.Dropped++
+						rs.DroppedFault++
+						continue
+					}
+					if fp.EdgeDown && fp.EdgeIsDown(e.cfg.Seed, r, id, m.to) {
+						rs.Dropped++
+						rs.DroppedFault++
+						continue
+					}
+					if fp.Loss && lrng.Float64() < fp.LossP {
+						rs.Dropped++
+						rs.DroppedFault++
+						continue
+					}
+				}
 				dst := &e.nodes[m.to]
 				dst.inbox = append(dst.inbox, sim.Incoming{From: id, Msg: m.msg})
 				rs.Delivered++
@@ -257,6 +328,7 @@ func (e *Engine) Run(program func(NodeCtx)) (*sim.Result, error) {
 		}
 		e.messages += rs.Delivered
 		e.dropped += rs.Dropped
+		e.faultDrops += rs.DroppedFault
 		e.stats.PerRound = append(e.stats.PerRound, rs)
 		// 4. Account every live node in ascending id: order the inbox
 		// (OrderRandom consumes the node's shard stream once per
@@ -271,6 +343,11 @@ func (e *Engine) Run(program func(NodeCtx)) (*sim.Result, error) {
 				// Terminated at this barrier: acknowledge and skip —
 				// no ordering, metering or resume.
 				nd.finished = true
+				continue
+			}
+			if nd.parked {
+				// Crashed and awaiting restart: nothing was delivered,
+				// the node holds no memory, no stream is consumed.
 				continue
 			}
 			if len(nd.inbox) > 0 {
@@ -317,7 +394,7 @@ func (e *Engine) Run(program func(NodeCtx)) (*sim.Result, error) {
 		// yield again before touching the next.
 		for id := range e.nodes {
 			nd := &e.nodes[id]
-			if nd.finished {
+			if nd.finished || nd.parked {
 				continue
 			}
 			nd.resume <- struct{}{}
@@ -328,6 +405,9 @@ func (e *Engine) Run(program func(NodeCtx)) (*sim.Result, error) {
 	res := &sim.Result{
 		Messages:   e.messages,
 		Dropped:    e.dropped,
+		FaultDrops: e.faultDrops,
+		Crashes:    e.crashes,
+		Restarts:   e.restarts,
 		Outputs:    make([][]any, n),
 		PeakWords:  make([]int64, n),
 		Violations: violations,
@@ -343,14 +423,94 @@ func (e *Engine) Run(program func(NodeCtx)) (*sim.Result, error) {
 	return res, e.runErr
 }
 
+// applyFaults is the reference fault point, mirroring the production
+// engine's: restarts due this round first (a restarted node consumes no
+// crash draw), then crash draws from per-shard streams keyed (seed,
+// round, shard) in ascending shard and node order. On an aborted run it
+// terminates parked nodes so the run can end, exactly like the engine.
+func (e *Engine) applyFaults(round int, program func(NodeCtx)) {
+	if e.aborted {
+		for id := range e.nodes {
+			if nd := &e.nodes[id]; nd.parked && !nd.done {
+				nd.done = true
+			}
+		}
+		return
+	}
+	fp := e.cfg.Faults
+	var crng *rand.Rand
+	curShard := -1
+	for id := range e.nodes {
+		nd := &e.nodes[id]
+		if nd.parked {
+			if nd.restartRound == round {
+				e.restartNode(id, program)
+			}
+			continue
+		}
+		if nd.done || nd.finished || !fp.Crash {
+			continue
+		}
+		if s := id / sim.ShardSpan; s != curShard {
+			curShard = s
+			crng = rand.New(rand.NewSource(sim.FaultStreamSeed(e.cfg.Seed, round, s, sim.FaultKindCrash)))
+		}
+		if crng.Float64() < fp.CrashP {
+			e.crashNode(id, round)
+		}
+	}
+}
+
+// crashNode parks one node: the goroutine parked in Tick is unwound
+// through the errCrash panic (the crashing flag plus a resume wakes it;
+// the step ack confirms the goroutine is gone), its staged sends from
+// the barrier it already passed stay routable — fail-stop — and its
+// memory is freed. Outputs, the peak high-water mark and any recorded
+// violation survive for the eventual restart.
+func (e *Engine) crashNode(id, round int) {
+	nd := &e.nodes[id]
+	nd.crashing = true
+	nd.resume <- struct{}{}
+	<-e.step
+	nd.crashing = false
+	nd.parked = true
+	nd.restartRound = round + e.cfg.Faults.RestartDelay()
+	nd.live = 0
+	nd.inboxWords = 0
+	nd.inbox = nil
+	e.crashes++
+}
+
+// restartNode revives a parked node with a fresh Ctx — private RNG
+// replaying its stream from the start, reset meter, Round() back at 0 —
+// and re-runs program from its first instruction, sequentially like the
+// initial spawn: the node runs until its first Tick (or termination)
+// before the engine moves on.
+func (e *Engine) restartNode(id int, program func(NodeCtx)) {
+	nd := &e.nodes[id]
+	nd.parked = false
+	nd.restartRound = 0
+	nd.restarts++
+	nd.ticks = 0
+	e.restarts++
+	go e.runNode(newCtx(e, id), program)
+	<-e.step
+}
+
 // runNode wraps one node's program, translating returns and panics into
 // the termination record exactly as the production engine does: the
 // abort sentinel and ErrMemory pass through, anything else becomes a
 // "panicked" error; sends staged before termination are still routed.
+// The crash sentinel is the exception — a crashed node is parked, not
+// terminated, so nothing is published and only the step ack fires.
 func (e *Engine) runNode(c *Ctx, program func(NodeCtx)) {
 	defer func() {
 		nd := &e.nodes[c.id]
 		if r := recover(); r != nil {
+			if err, ok := r.(error); ok && errors.Is(err, errCrash) {
+				e.step <- struct{}{}
+				return
+			}
 			if err, ok := r.(error); ok && (errors.Is(err, errAbort) || errors.Is(err, sim.ErrMemory)) {
 				nd.err = err
 			} else {

@@ -45,9 +45,10 @@ type StepProgram interface {
 // runs the node as a classic blocking goroutine. Mixed runs — some
 // nodes stepped, some blocking — are valid and stay deterministic.
 //
-// Node is called once per node during engine setup and may be called
-// concurrently for distinct nodes; it must not retain c beyond the
-// node's own execution.
+// Node is called once per node during engine setup — and once more per
+// fault-layer restart of a node (see WithFaults), which re-binds the
+// node exactly like setup did. It may be called concurrently for
+// distinct nodes; it must not retain c beyond the node's own execution.
 type Program interface {
 	Node(c *Ctx) (StepProgram, func(*Ctx))
 }
@@ -109,9 +110,9 @@ func (e *Engine) bindShard(st *shardState, lo, hi int) {
 // shards staged. Returns the goroutine-node count — the population of
 // the arrival barrier.
 func (e *Engine) bindNodes(sc *runScratch, p Program) int {
-	e.prog = p
+	// e.prog was set by RunProgram and stays set for the whole run: the
+	// fault layer re-invokes Node on restart.
 	e.runPhase(phaseBind)
-	e.prog = nil
 	gor := sc.gor[:0]
 	for _, st := range e.shards {
 		gor = append(gor, st.gor...)

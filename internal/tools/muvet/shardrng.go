@@ -10,7 +10,8 @@ import (
 // ShardRNG pins the engine's RNG derivation contract: inside the
 // production engine and the reference engine, every rand.NewSource
 // seed must come from sim.ShardStreamSeed (the per-shard OrderRandom
-// streams) or the documented node-RNG derivation
+// streams), sim.FaultStreamSeed (the fault-injection streams keyed
+// (seed, round, shard, kind)) or the documented node-RNG derivation
 // `seed*1_000_003 + int64(id)`. Ad-hoc seeding — the PR-1-era
 // `rand.NewSource(seed + something)` style — silently re-keys golden
 // digests and breaks refsim/engine parity, so it fails vet.
@@ -61,14 +62,16 @@ func runShardRNG(pass *analysis.Pass) error {
 	return nil
 }
 
-// isBlessedSeed recognizes the two sanctioned derivations:
+// isBlessedSeed recognizes the three sanctioned derivations:
 //
-//	ShardStreamSeed(seed, s)        (any qualifier)
+//	ShardStreamSeed(seed, s)                  (any qualifier)
+//	FaultStreamSeed(seed, round, shard, kind) (any qualifier)
 //	<seed expr>*1_000_003 + <id expr>
 func isBlessedSeed(e ast.Expr) bool {
 	e = ast.Unparen(e)
 	if call, ok := e.(*ast.CallExpr); ok {
-		return calleeName(call) == "ShardStreamSeed"
+		name := calleeName(call)
+		return name == "ShardStreamSeed" || name == "FaultStreamSeed"
 	}
 	bin, ok := e.(*ast.BinaryExpr)
 	if !ok || bin.Op != token.ADD {

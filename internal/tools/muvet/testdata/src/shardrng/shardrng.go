@@ -1,4 +1,4 @@
-// Corpus for the shardrng analyzer: the two blessed seed derivations
+// Corpus for the shardrng analyzer: the three blessed seed derivations
 // pass, anything ad hoc fails.
 package shardrng
 
@@ -8,6 +8,12 @@ import "math/rand"
 // matches the callee name, so the corpus supplies a local twin.
 func ShardStreamSeed(seed int64, shard int) int64 {
 	return seed ^ int64(shard)*2654435761
+}
+
+// FaultStreamSeed stands in for sim.FaultStreamSeed, the fault-layer
+// stream derivation blessed alongside ShardStreamSeed.
+func FaultStreamSeed(seed int64, round, shard int, kind uint32) int64 {
+	return seed ^ int64(round)*3 ^ int64(shard)*5 ^ int64(kind)*7
 }
 
 func adHocSeed(seed int64, shard int) *rand.Rand {
@@ -24,6 +30,10 @@ func blessedShardSeed(seed int64, shard int) *rand.Rand {
 
 func blessedNodeSeed(seed int64, id int) *rand.Rand {
 	return rand.New(rand.NewSource(seed*1_000_003 + int64(id)))
+}
+
+func blessedFaultSeed(seed int64, round, shard int) *rand.Rand {
+	return rand.New(rand.NewSource(FaultStreamSeed(seed, round, shard, 1)))
 }
 
 func allowedMigration(seed int64) *rand.Rand {

@@ -7,18 +7,23 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"sort"
 )
 
 // runCompare implements `recordcheck -compare baseline.json fresh.json
-// [-tol-ns R] [-tol-allocs R]`: load two mucongest.bench/v1 documents
-// and fail if any baseline cell regressed beyond the tolerance ratios
-// in the fresh run. The flag package stops parsing at the first
-// positional argument, so the two file operands are peeled off by hand
-// and the FlagSet only sees what follows them.
+// [-tol-ns R] [-tol-allocs R] [-only REGEX]`: load two
+// mucongest.bench/v1 documents and fail if any baseline cell regressed
+// beyond the tolerance ratios in the fresh run. -only restricts the
+// gate to baseline cells whose name matches the regexp, so a CI
+// pipeline can hold a stable subset (e.g. the large-n engine cells) to
+// a tight ratio without the noisy small cells tripping it. The flag
+// package stops parsing at the first positional argument, so the two
+// file operands are peeled off by hand and the FlagSet only sees what
+// follows them.
 func runCompare(args []string, stdout io.Writer) error {
 	if len(args) < 2 {
-		return fmt.Errorf("usage: recordcheck -compare baseline.json fresh.json [-tol-ns R] [-tol-allocs R]")
+		return fmt.Errorf("usage: recordcheck -compare baseline.json fresh.json [-tol-ns R] [-tol-allocs R] [-only REGEX]")
 	}
 	basePath, freshPath := args[0], args[1]
 	fs := flag.NewFlagSet("recordcheck -compare", flag.ContinueOnError)
@@ -26,6 +31,8 @@ func runCompare(args []string, stdout io.Writer) error {
 		"fresh/baseline ns/op ratio above which a cell counts as regressed")
 	tolAllocs := fs.Float64("tol-allocs", 1.0,
 		"fresh/baseline allocs/op ratio above which a cell counts as regressed")
+	only := fs.String("only", "",
+		"gate only the baseline cells whose name matches this regexp")
 	if err := fs.Parse(args[2:]); err != nil {
 		return err
 	}
@@ -43,6 +50,22 @@ func runCompare(args []string, stdout io.Writer) error {
 	fresh, err := loadBench(freshPath)
 	if err != nil {
 		return err
+	}
+	if *only != "" {
+		re, err := regexp.Compile(*only)
+		if err != nil {
+			return fmt.Errorf("-only: %v", err)
+		}
+		for name := range base {
+			if !re.MatchString(name) {
+				delete(base, name)
+			}
+		}
+		// An -only that selects nothing gates nothing — that is a broken
+		// pipeline, not a pass.
+		if len(base) == 0 {
+			return fmt.Errorf("-only %q matches no baseline cell in %s", *only, basePath)
+		}
 	}
 	regressions := compareBench(base, fresh, *tolNS, *tolAllocs)
 	if len(regressions) > 0 {

@@ -106,6 +106,43 @@ func TestCompareNewBenchmarkPasses(t *testing.T) {
 	}
 }
 
+func TestCompareOnlyFilter(t *testing.T) {
+	dir := t.TempDir()
+	// engine cell regresses 2x, step cell is clean. -only scoped to the
+	// step cells must pass; unscoped (or scoped to engine) must fail.
+	base := writeDoc(t, dir, "base.json", benchDoc(
+		[4]string{"BenchmarkEngineRoundCycle65536Workers/w=4", "1000", "64", "0"},
+		[4]string{"BenchmarkStep/path", "500", "32", "2"},
+	))
+	fresh := writeDoc(t, dir, "fresh.json", benchDoc(
+		[4]string{"BenchmarkEngineRoundCycle65536Workers/w=4", "2000", "64", "0"},
+		[4]string{"BenchmarkStep/path", "500", "32", "2"},
+	))
+
+	var out bytes.Buffer
+	if err := runCompare([]string{base, fresh, "-tol-ns", "1.3", "-only", "^BenchmarkStep/"}, &out); err != nil {
+		t.Fatalf("-only ^BenchmarkStep/: %v", err)
+	}
+	if !strings.Contains(out.String(), "1 baseline cells within tolerance") {
+		t.Errorf("output = %q, want exactly the one matching cell gated", out.String())
+	}
+
+	err := runCompare([]string{base, fresh, "-tol-ns", "1.3", "-only", "EngineRound"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "1 of 1 baseline cells regressed") {
+		t.Fatalf("-only EngineRound: err = %v, want the regressed engine cell flagged", err)
+	}
+
+	err = runCompare([]string{base, fresh, "-only", "NoSuchBenchmark"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "matches no baseline cell") {
+		t.Fatalf("-only with no matches: err = %v, want an explicit empty-gate error", err)
+	}
+
+	err = runCompare([]string{base, fresh, "-only", "("}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "-only:") {
+		t.Fatalf("-only with a bad regexp: err = %v, want a compile error", err)
+	}
+}
+
 func TestCompareRejectsBadInputs(t *testing.T) {
 	dir := t.TempDir()
 	good := writeDoc(t, dir, "good.json", benchDoc([4]string{"b", "100", "0", "0"}))

@@ -15,11 +15,14 @@
 //
 // A second mode compares two bench baselines cell by cell:
 //
-//	recordcheck -compare baseline.json fresh.json -tol-ns 1.3 -tol-allocs 1.05
+//	recordcheck -compare baseline.json fresh.json -tol-ns 1.3 -tol-allocs 1.05 [-only REGEX]
 //
 // exits non-zero if any baseline benchmark's ns/op or allocs/op grew
 // beyond the tolerance ratio (or vanished) in the fresh file, so a perf
-// regression can gate a pipeline instead of being eyeballed.
+// regression can gate a pipeline instead of being eyeballed. -only
+// narrows the gate to the baseline cells whose name matches the
+// regexp — CI holds the stable large-n engine cells to a tight ratio
+// while leaving sub-microsecond cells out of the gate.
 package main
 
 import (
