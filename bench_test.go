@@ -101,6 +101,30 @@ func benchEngineRoundsStep(b *testing.B, topo sim.Topology, rounds int, opts ...
 	}
 }
 
+// benchEngineRoundsStepWarm is benchEngineRoundsStep with one untimed
+// warm-up run: the first run at a given scale pays one-time growth of
+// the shared run-scratch pools, so cold single-iteration numbers swing
+// with whatever ran before. The warm cells measure the steady-state
+// round loop — reproducible enough at -benchtime 1x for the CI perf
+// gate to ratio allocations tightly (ROADMAP item 5's warm-iteration
+// bench-record mode).
+func benchEngineRoundsStepWarm(b *testing.B, topo sim.Topology, rounds int, opts ...sim.Option) {
+	b.Helper()
+	prog := bench.BroadcastSteps(topo.N(), rounds)
+	run := func() {
+		e := sim.New(topo, append([]sim.Option{sim.WithSeed(1)}, opts...)...)
+		if _, err := e.RunProgram(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+	run() // warm-up, untimed
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		run()
+	}
+}
+
 func BenchmarkEngineRoundDense64(b *testing.B) {
 	benchEngineRounds(b, sim.NewComplete(64), 32)
 }
@@ -134,7 +158,7 @@ func BenchmarkEngineRoundBroadcastComplete512(b *testing.B) {
 // (graph generation) happens once per benchmark, outside the timer.
 
 var benchLargeTopo = struct {
-	cycle, cycle1m, torus, powerlaw sim.Topology
+	cycle, cycle1m, torus, powerlaw, powerlaw1m sim.Topology
 }{}
 
 func largeCycle() sim.Topology {
@@ -205,11 +229,36 @@ func BenchmarkEngineRoundTorus65536(b *testing.B) {
 	benchEngineLarge(b, benchLargeTopo.torus, 0)
 }
 
+// BenchmarkEngineRoundPowerlaw65536 drives heavy-tailed degrees at
+// 65536 nodes on the compact CSR adjacency, goroutine-free and warm:
+// the per-round engine cost on the representation and runtime the
+// large-n experiments actually use. Through PR9 this cell ran the
+// explicit graph.Graph in goroutine mode, cold — 1.05 s and 112 MB per
+// op (BENCH_PR9.json); the CSR + step + warm combination is the
+// tentpole speedup the PR10 baseline records.
 func BenchmarkEngineRoundPowerlaw65536(b *testing.B) {
 	if benchLargeTopo.powerlaw == nil {
-		benchLargeTopo.powerlaw = graph.BarabasiAlbert(65536, 3, rand.New(rand.NewSource(1)))
+		benchLargeTopo.powerlaw = graph.BarabasiAlbertCSR(65536, 3, rand.New(rand.NewSource(1)))
 	}
-	benchEngineLarge(b, benchLargeTopo.powerlaw, 0)
+	benchEngineRoundsStepWarm(b, benchLargeTopo.powerlaw, 4, sim.WithSimWorkers(0))
+}
+
+// The 1M cells pin the large-n story end to end: a million-node
+// power-law CSR (built once, outside the timer) and a million-node
+// implicit torus (O(1) memory, port arithmetic only) each complete a
+// goroutine-free broadcast round loop. Run with -benchtime 1x in CI; a
+// single op proves the representation layer serves engine rounds at
+// the scale the explicit adjacency could not hold.
+
+func BenchmarkEngineRoundPowerlaw1MStep(b *testing.B) {
+	if benchLargeTopo.powerlaw1m == nil {
+		benchLargeTopo.powerlaw1m = graph.BarabasiAlbertCSR(1<<20, 3, rand.New(rand.NewSource(1)))
+	}
+	benchEngineRoundsStep(b, benchLargeTopo.powerlaw1m, 2, sim.WithSimWorkers(0))
+}
+
+func BenchmarkEngineRoundTorus1MStep(b *testing.B) {
+	benchEngineRoundsStep(b, sim.NewTorus(1024, 1024), 2, sim.WithSimWorkers(0))
 }
 
 // BenchmarkEngineRoundComplete65536Setup pins the implicit Complete

@@ -240,10 +240,12 @@ func main() {
 	}
 }
 
-// runEngineLoad builds the named topology and drives the canonical
-// engine broadcast workload over it in the requested execution form —
-// under the -faults plan, if one was given — then writes a one-line
-// summary including wall-clock. The timer starts at engine
+// runEngineLoad builds the named topology — in the registry's compact
+// representation (CSR or implicit), so multi-million-node specs fit in
+// memory or fail the budget check with a clear estimate — and drives
+// the canonical engine broadcast workload over it in the requested
+// execution form, under the -faults plan if one was given, then writes
+// a one-line summary including wall-clock. The timer starts at engine
 // construction: a scale smoke should bound what a cold run actually
 // costs, not just the warm round loop.
 func runEngineLoad(w io.Writer, spec, mode string, rounds int, seed int64, faults sim.FaultPlan) error {
@@ -251,7 +253,11 @@ func runEngineLoad(w io.Writer, spec, mode string, rounds int, seed int64, fault
 	if err != nil {
 		return err
 	}
-	g, err := tp.Build(seededRNG(seed))
+	est, err := tp.Estimate()
+	if err != nil {
+		return err
+	}
+	g, err := tp.BuildTopology(seededRNG(seed))
 	if err != nil {
 		return err
 	}
@@ -266,8 +272,8 @@ func runEngineLoad(w io.Writer, spec, mode string, rounds int, seed int64, fault
 	if err != nil {
 		return err
 	}
-	summary := fmt.Sprintf("engine %s mode=%s nodes=%d rounds=%d messages=%d",
-		spec, mode, g.N(), res.Rounds, res.Messages)
+	summary := fmt.Sprintf("engine %s mode=%s repr=%s nodes=%d rounds=%d messages=%d",
+		spec, mode, est.Repr, g.N(), res.Rounds, res.Messages)
 	if !faults.Empty() {
 		summary += fmt.Sprintf(" faults=%q faultdrops=%d crashes=%d restarts=%d",
 			faults, res.FaultDrops, res.Crashes, res.Restarts)

@@ -2,6 +2,13 @@
 // topology registry (internal/topo): node/edge counts, degree extremes,
 // diameter, lazy random-walk mixing time, and triangle count.
 //
+// Above 65536 nodes the tool switches to the registry's compact
+// representation (CSR adjacency or implicit arithmetic — reported with
+// a memory estimate) and skips the superlinear statistics, so
+// multi-million-node specs print their shape instead of exhausting
+// memory; specs whose compact form still exceeds the build budget fail
+// with a clear estimate.
+//
 // -kind takes a registry spec — a bare family name (defaults apply) or
 // family:key=value,...:
 //
@@ -25,6 +32,7 @@ import (
 
 	"mucongest/internal/clique"
 	"mucongest/internal/expander"
+	"mucongest/internal/graph"
 	"mucongest/internal/topo"
 )
 
@@ -79,12 +87,54 @@ func main() {
 		}
 	}
 
-	g, err := spec.Build(rand.New(rand.NewSource(*seed)))
+	est, err := spec.Estimate()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+
+	// Large specs: build the compact representation (budget-checked, so
+	// an over-budget spec errors instead of OOMing) and report shape
+	// without the superlinear statistics.
+	const largeN = 65536
+	printCompact := func() {
+		t, err := spec.BuildTopology(rand.New(rand.NewSource(*seed)))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("topo      %s\n", spec)
+		fmt.Printf("repr      %s (~%d bytes)\n", est.Repr, est.Bytes)
+		fmt.Printf("n         %d\n", t.N())
+		if c, ok := t.(*graph.CSR); ok {
+			fmt.Printf("m         %d\n", c.M())
+			fmt.Printf("maxDeg Δ  %d\n", c.MaxDegree())
+			fmt.Printf("avgDeg    %.2f\n", c.AvgDegree())
+			fmt.Printf("connected %v\n", c.Connected())
+		} else {
+			fmt.Printf("m         %d\n", est.M)
+		}
+		fmt.Println("diameter, τ_mix and triangles skipped (superlinear scans over the explicit adjacency)")
+	}
+	if est.N > largeN {
+		printCompact()
+		return
+	}
+
+	g, err := spec.Build(rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		// Families with explicit-only caps (complete beyond 2048,
+		// hypercube beyond dim 20) still have a compact form: report its
+		// shape instead of refusing outright.
+		if _, terr := spec.BuildTopology(rand.New(rand.NewSource(*seed))); terr == nil {
+			printCompact()
+			return
+		}
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	fmt.Printf("topo      %s\n", spec)
+	fmt.Printf("repr      %s (~%d bytes compact; explicit adjacency built for full stats)\n", est.Repr, est.Bytes)
 	fmt.Printf("n         %d\n", g.N())
 	fmt.Printf("m         %d\n", g.M())
 	fmt.Printf("maxDeg Δ  %d\n", g.MaxDegree())

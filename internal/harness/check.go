@@ -4,46 +4,53 @@ import (
 	"fmt"
 	"math/rand"
 
+	"mucongest/internal/graph"
 	"mucongest/internal/sim"
 	"mucongest/internal/sim/refsim"
 	"mucongest/internal/topo"
 )
 
 // BuildTopology materializes the scenario's communication graph through
-// the topo registry — or, for implicit scenarios, as the engine-native
-// sim.NewComplete, whose neighbor lists are identical to the explicit
-// K_n but answer through the DegreeTopology / IndexedTopology /
-// PortedTopology fast paths the registry graph does not implement.
+// the topo registry: the explicit *graph.Graph by default, or — for
+// compact scenarios — the registry's compact representation
+// (topo.Spec.BuildTopology: CSR adjacency or engine-native implicit
+// arithmetic), which answers through the DegreeTopology /
+// IndexedTopology / PortedTopology fast paths the explicit graph does
+// not implement.
 func BuildTopology(sc Scenario) (sim.Topology, error) {
 	spec, err := topo.Parse(sc.TopoSpec)
 	if err != nil {
 		return nil, err
 	}
-	if sc.Implicit {
-		if spec.Family != "complete" {
-			return nil, fmt.Errorf("harness: implicit topology drawn for family %q, only complete is implicit", spec.Family)
-		}
-		v, err := spec.Values()
-		if err != nil {
-			return nil, err
-		}
-		n := v.Int("n")
-		if err := v.Err(); err != nil {
-			return nil, err
-		}
-		if n != sc.N {
-			return nil, fmt.Errorf("harness: %q names %d nodes, scenario recorded %d", sc.TopoSpec, n, sc.N)
-		}
-		return sim.NewComplete(n), nil
+	var t sim.Topology
+	if sc.Compact {
+		t, err = spec.BuildTopology(rand.New(rand.NewSource(sc.TopoSeed)))
+	} else {
+		t, err = buildExplicit(spec, sc.TopoSeed)
 	}
-	g, err := spec.Build(rand.New(rand.NewSource(sc.TopoSeed)))
 	if err != nil {
 		return nil, err
 	}
-	if g.N() != sc.N {
-		return nil, fmt.Errorf("harness: %q built %d nodes, scenario recorded %d", sc.TopoSpec, g.N(), sc.N)
+	if t.N() != sc.N {
+		return nil, fmt.Errorf("harness: %q built %d nodes, scenario recorded %d", sc.TopoSpec, t.N(), sc.N)
 	}
-	return g, nil
+	return t, nil
+}
+
+func buildExplicit(spec topo.Spec, seed int64) (*graph.Graph, error) {
+	return spec.Build(rand.New(rand.NewSource(seed)))
+}
+
+// repr names the representation class of a built topology.
+func repr(t sim.Topology) string {
+	switch t.(type) {
+	case *graph.Graph:
+		return "graph"
+	case *graph.CSR:
+		return "csr"
+	default:
+		return "implicit"
+	}
 }
 
 // Outcome summarizes what a checked scenario's (agreed-upon) execution
@@ -64,6 +71,9 @@ type Outcome struct {
 	Crashes    int64
 	Restarts   int64
 	FaultDrops int64
+	// Repr is the representation class the scenario actually ran on
+	// ("graph", "csr" or "implicit"), for corpus coverage accounting.
+	Repr string
 }
 
 // simStep adapts an engine-agnostic refsim.StepNode machine to the
@@ -116,6 +126,31 @@ func CheckScenario(sc Scenario, workers ...int) (Outcome, error) {
 		Crashes:    refRes.Crashes,
 		Restarts:   refRes.Restarts,
 		FaultDrops: refRes.FaultDrops,
+		Repr:       repr(g),
+	}
+
+	// Compact scenarios additionally certify the representation itself:
+	// the reference engine rerun on the explicit graph (same generator
+	// seed, shared draw sequence) must agree byte-for-byte with the run
+	// on the compact topology — any adjacency, ordering or port skew
+	// between the representations diverges here before it can masquerade
+	// as an engine bug.
+	if sc.Compact {
+		spec, err := topo.Parse(sc.TopoSpec)
+		if err != nil {
+			return out, err
+		}
+		eg, err := buildExplicit(spec, sc.TopoSeed)
+		if err != nil {
+			return out, fmt.Errorf("harness: explicit twin of %q: %w", sc.TopoSpec, err)
+		}
+		twinRes, twinErr := refsim.New(eg, cfg).Run(program)
+		if err := compareErrors(refErr, twinErr); err != nil {
+			return out, fmt.Errorf("explicit-representation twin: %w", err)
+		}
+		if err := compareResults(refRes, twinRes); err != nil {
+			return out, fmt.Errorf("explicit-representation twin: %w", err)
+		}
 	}
 
 	engineOpts := func(w int) []sim.Option {

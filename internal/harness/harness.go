@@ -53,13 +53,17 @@ type Scenario struct {
 	Order  sim.InboxOrder
 	// EdgeCap is the per-edge per-round message budget (≥ 1).
 	EdgeCap int
-	// Implicit selects the engine-native implicit topology instead of
-	// the registry-built explicit adjacency. Only drawn for the
-	// complete family (sim.NewComplete), whose neighbor lists are
-	// identical to the explicit K_n — running both representations
-	// differentially covers the engine's DegreeTopology /
-	// IndexedTopology / PortedTopology fast paths.
-	Implicit bool
+	// Compact selects the registry's compact representation
+	// (topo.Spec.BuildTopology: CSR adjacency for generated families,
+	// engine-native implicit arithmetic for grid/torus/hypercube/
+	// complete) instead of the explicit *graph.Graph. Compact and
+	// explicit builds share generator draw sequences, so the two
+	// representations are edge-for-edge identical — CheckScenario
+	// certifies that differentially by running the reference engine on
+	// both and requiring byte-identical results, while the production
+	// engine runs exercise the DegreeTopology / IndexedTopology /
+	// PortedTopology fast paths the explicit graph does not implement.
+	Compact bool
 	// Behavior names the node program (see behaviors.go); Rounds is its
 	// horizon. FailNode/FailRound parameterize the node-error behavior
 	// (FailNode < 0 for the others).
@@ -75,8 +79,8 @@ type Scenario struct {
 }
 
 func (s Scenario) String() string {
-	return fmt.Sprintf("{%s on %q n=%d implicit=%v seed=%d toposeed=%d mu=%d strict=%v order=%d cap=%d rounds=%d fail=%d@%d faults=%q}",
-		s.Behavior, s.TopoSpec, s.N, s.Implicit, s.Seed, s.TopoSeed, s.Mu, s.Strict, s.Order, s.EdgeCap,
+	return fmt.Sprintf("{%s on %q n=%d compact=%v seed=%d toposeed=%d mu=%d strict=%v order=%d cap=%d rounds=%d fail=%d@%d faults=%q}",
+		s.Behavior, s.TopoSpec, s.N, s.Compact, s.Seed, s.TopoSeed, s.Mu, s.Strict, s.Order, s.EdgeCap,
 		s.Rounds, s.FailNode, s.FailRound, s.Faults)
 }
 
@@ -85,13 +89,20 @@ func (s Scenario) String() string {
 // constraints and behavior parameters to the topology size, so the
 // fuzz target can feed arbitrary seeds straight through.
 func Generate(rng *rand.Rand) Scenario {
-	spec, n, implicit := drawTopo(rng)
+	spec, n, compact := drawTopo(rng)
+	// Beyond the complete-family draw, a third of scenarios run the
+	// production engine on the compact representation of whatever family
+	// was drawn (CSR or implicit), certified against the explicit graph
+	// by an extra reference run inside CheckScenario.
+	if !compact {
+		compact = rng.Intn(3) == 0
+	}
 	sc := Scenario{
 		Seed:      1 + rng.Int63n(1<<62),
 		TopoSpec:  spec,
 		TopoSeed:  1 + rng.Int63n(1<<62),
 		N:         n,
-		Implicit:  implicit,
+		Compact:   compact,
 		Order:     sim.InboxOrder(rng.Intn(3)),
 		EdgeCap:   1 + rng.Intn(2),
 		Rounds:    3 + rng.Intn(8),
@@ -161,10 +172,10 @@ func Corpus(masterSeed int64, k int) []Scenario {
 // until it is drawn here). Most scenarios stay small (the differential
 // comparison is O(n · rounds) three times over); one in eight spans
 // multiple delivery shards (n > sim.ShardSpan) on a cheap family,
-// exercising the per-shard RNG stream derivation; complete alternates
-// between the registry's explicit K_n and the engine-native implicit
-// sim.NewComplete, covering the topology fast paths differentially.
-func drawTopo(rng *rand.Rand) (spec string, n int, implicit bool) {
+// exercising the per-shard RNG stream derivation; complete forces the
+// compact draw half the time so the implicit all-to-all fast paths
+// stay covered regardless of the general compact rate in Generate.
+func drawTopo(rng *rand.Rand) (spec string, n int, compact bool) {
 	if rng.Intn(8) == 0 {
 		n = sim.ShardSpan + 1 + rng.Intn(700)
 		switch rng.Intn(4) {

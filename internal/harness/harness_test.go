@@ -38,7 +38,8 @@ func TestDifferentialEngineRandomized(t *testing.T) {
 	strict := map[bool]int{}
 	behaviors := map[string]int{}
 	stepped := map[string]int{}
-	multiShard, bounded, aborted, violated, implicit, faulty := 0, 0, 0, 0, 0, 0
+	reprs := map[string]int{}
+	multiShard, bounded, aborted, violated, compact, faulty := 0, 0, 0, 0, 0, 0
 	var crashes, restarts, faultDrops int64
 
 	for i, sc := range scs {
@@ -61,9 +62,10 @@ func TestDifferentialEngineRandomized(t *testing.T) {
 		if sc.Mu > 0 {
 			bounded++
 		}
-		if sc.Implicit {
-			implicit++
+		if sc.Compact {
+			compact++
 		}
+		reprs[out.Repr]++
 		if out.Aborted {
 			aborted++
 		}
@@ -81,8 +83,8 @@ func TestDifferentialEngineRandomized(t *testing.T) {
 		return
 	}
 
-	t.Logf("corpus: families=%v orders=%v strict=%v behaviors=%v multiShard=%d bounded=%d aborted=%d violated=%d implicit=%d faulty=%d crashes=%d restarts=%d faultDrops=%d",
-		families, orders, strict, behaviors, multiShard, bounded, aborted, violated, implicit, faulty, crashes, restarts, faultDrops)
+	t.Logf("corpus: families=%v orders=%v strict=%v behaviors=%v multiShard=%d bounded=%d aborted=%d violated=%d compact=%d reprs=%v faulty=%d crashes=%d restarts=%d faultDrops=%d",
+		families, orders, strict, behaviors, multiShard, bounded, aborted, violated, compact, reprs, faulty, crashes, restarts, faultDrops)
 	// Every registered family must be drawn: a family added to the topo
 	// registry without a drawTopo case fails here until the generator
 	// (and so the oracle) covers it.
@@ -91,8 +93,18 @@ func TestDifferentialEngineRandomized(t *testing.T) {
 			t.Errorf("corpus never drew registered topology family %q", fam)
 		}
 	}
-	if implicit == 0 {
-		t.Error("corpus never drew an implicit (engine fast path) topology")
+	// Every representation class must run: the explicit baseline, the
+	// compact CSR adjacency, and the implicit arithmetic topologies —
+	// each compact scenario is also cross-certified against its explicit
+	// twin inside CheckScenario, so nonzero counts here mean the
+	// representation equivalence was actually exercised differentially.
+	for _, r := range []string{"graph", "csr", "implicit"} {
+		if reprs[r] == 0 {
+			t.Errorf("corpus never ran a scenario on the %q representation", r)
+		}
+	}
+	if compact == 0 {
+		t.Error("corpus never drew a compact-representation scenario")
 	}
 	for o := sim.OrderBySender; o <= sim.OrderReversed; o++ {
 		if orders[o] == 0 {

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // Topology describes the communication graph the engine runs on. It is
@@ -49,12 +50,44 @@ type PortedTopology interface {
 // adjacency. Neighbors materializes (and caches) a node's slice only
 // when a program actually asks for it.
 type Complete struct {
-	n  int
-	mu sync.Mutex
-	// adj lazily caches materialized neighbor slices, allocated on first
-	// Neighbors call; entries are built per requested node so memory
-	// stays proportional to the nodes that iterate their neighbor list.
-	adj [][]int
+	n int
+	// nbrs lazily caches materialized neighbor slices; entries are built
+	// per requested node so memory stays proportional to the nodes that
+	// iterate their neighbor list, and the warm path is lock-free.
+	nbrs lazyNbrs
+}
+
+// lazyNbrs caches per-node neighbor slices for implicit topologies.
+// The cache table is published once (double-checked under mu), entries
+// once via CompareAndSwap — so after the first call for a node, every
+// reader takes two atomic loads and no lock. Racing first builders may
+// duplicate the (identical) build; exactly one slice wins the CAS and
+// becomes the canonical stable-across-calls result.
+type lazyNbrs struct {
+	mu  sync.Mutex
+	tab atomic.Pointer[[]atomic.Pointer[[]int]]
+}
+
+func (l *lazyNbrs) get(n, v int, build func(int) []int) []int {
+	t := l.tab.Load()
+	if t == nil {
+		l.mu.Lock()
+		if t = l.tab.Load(); t == nil {
+			nt := make([]atomic.Pointer[[]int], n)
+			t = &nt
+			l.tab.Store(t)
+		}
+		l.mu.Unlock()
+	}
+	e := &(*t)[v]
+	if a := e.Load(); a != nil {
+		return *a
+	}
+	a := build(v)
+	if !e.CompareAndSwap(nil, &a) {
+		return *e.Load()
+	}
+	return a
 }
 
 // NewComplete returns the complete topology on n nodes. Unlike explicit
@@ -93,24 +126,17 @@ func (c *Complete) PortOf(v, id int) int {
 
 // Neighbors returns all nodes other than v in ascending order. The slice
 // is materialized lazily and cached per node; callers must not modify
-// it. Safe for concurrent use.
+// it. Safe for concurrent use; warm calls are lock-free.
 func (c *Complete) Neighbors(v int) []int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.adj == nil {
-		c.adj = make([][]int, c.n)
-	}
-	if a := c.adj[v]; a != nil {
-		return a
-	}
-	a := make([]int, c.n-1)
-	for p := range a {
-		if p < v {
-			a[p] = p
-		} else {
-			a[p] = p + 1
+	return c.nbrs.get(c.n, v, func(v int) []int {
+		a := make([]int, c.n-1)
+		for p := range a {
+			if p < v {
+				a[p] = p
+			} else {
+				a[p] = p + 1
+			}
 		}
-	}
-	c.adj[v] = a
-	return a
+		return a
+	})
 }

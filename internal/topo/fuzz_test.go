@@ -1,6 +1,8 @@
 package topo
 
 import (
+	"math"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -9,7 +11,9 @@ import (
 // panics (malformed specs must return errors), and any spec that
 // parses round-trips through its canonical String() form — the
 // property experiment records rely on when they embed a spec and later
-// rebuild the graph from it.
+// rebuild the graph from it. Equivalent spellings of the same value
+// ("p=.5", "p=0.50", "conn=true") must canonicalize to the same string,
+// so grouping runs by canonical spec is sound.
 //
 // The seed corpus covers every registered family three ways: the bare
 // name, the canonical fully-explicit form, and a single-argument form —
@@ -48,6 +52,56 @@ func FuzzTopoParse(f *testing.F) {
 		}
 		if sp2.Family != sp.Family {
 			t.Fatalf("family changed across round-trip: %q -> %q", sp.Family, sp2.Family)
+		}
+		// Equivalent spellings of every explicitly-given parameter must
+		// canonicalize to the same string as the original spec.
+		fam := lookup(sp.Family)
+		for _, p := range fam.Params {
+			raw, ok := sp.Args[p.Name]
+			if !ok {
+				continue
+			}
+			var alts []string
+			switch p.Kind {
+			case KindInt:
+				if i, err := strconv.Atoi(raw); err == nil {
+					if i >= 0 {
+						alts = append(alts, "+"+strconv.Itoa(i), "0"+strconv.Itoa(i), "00"+strconv.Itoa(i))
+					} else {
+						alts = append(alts, "-0"+strconv.Itoa(-i))
+					}
+				}
+			case KindFloat:
+				if x, err := strconv.ParseFloat(raw, 64); err == nil && !math.IsNaN(x) && !math.IsInf(x, 0) {
+					c := strconv.FormatFloat(x, 'g', -1, 64)
+					if strings.Contains(c, ".") && !strings.ContainsAny(c, "eE") {
+						alts = append(alts, c+"0") // trailing zero
+						if strings.HasPrefix(c, "0.") {
+							alts = append(alts, c[1:]) // ".5" for "0.5"
+						}
+						if strings.HasPrefix(c, "-0.") {
+							alts = append(alts, "-"+c[2:])
+						}
+					}
+					if !strings.HasPrefix(c, "-") {
+						alts = append(alts, "+"+c)
+					}
+				}
+			case KindBool:
+				if b, err := strconv.ParseBool(raw); err == nil {
+					if b {
+						alts = append(alts, "true", "t", "T", "TRUE")
+					} else {
+						alts = append(alts, "false", "f", "F", "FALSE")
+					}
+				}
+			}
+			for _, alt := range alts {
+				if got := sp.With(p.Name, alt).String(); got != canon {
+					t.Errorf("equivalent spelling %s=%q of %q canonicalizes to %q, want %q",
+						p.Name, alt, s, got, canon)
+				}
+			}
 		}
 	})
 }

@@ -13,6 +13,14 @@
 // canonical fully-explicit form that experiment records embed, so a
 // recorded run names its topology reproducibly.
 //
+// Spec.BuildTopology builds the most compact representation the family
+// supports — CSR adjacency for generated graphs, O(1) implicit
+// arithmetic topologies for grid/torus/hypercube/complete — and
+// enforces a memory budget so multi-million-node specs either build
+// cheaply or fail with a clear estimate instead of exhausting memory.
+// Spec.Estimate reports the representation and projected footprint
+// without building anything.
+//
 // cmd/mugraph, the bench experiment grid (including the muexp -topo
 // override), and the examples all construct their graphs through this
 // registry.
@@ -26,24 +34,69 @@ import (
 	"strings"
 
 	"mucongest/internal/graph"
+	"mucongest/internal/sim"
 )
 
+// ParamKind is the declared type of a parameter value; it drives the
+// canonical normalization Spec.String and Spec.Values apply, so
+// equivalent spellings ("p=.5" and "p=0.5") render identically.
+type ParamKind int
+
+const (
+	// KindInt is a base-10 integer parameter (the registry default).
+	KindInt ParamKind = iota
+	// KindFloat is a float64 parameter.
+	KindFloat
+	// KindBool is a boolean parameter, canonically "1"/"0".
+	KindBool
+)
+
+// normalize rewrites raw into the canonical spelling of its kind. Values
+// that fail to parse keep their original spelling — the typed accessors
+// report them with the user's own text at Build time.
+func normalize(k ParamKind, raw string) string {
+	switch k {
+	case KindInt:
+		if i, err := strconv.Atoi(raw); err == nil {
+			return strconv.Itoa(i)
+		}
+	case KindFloat:
+		if f, err := strconv.ParseFloat(raw, 64); err == nil {
+			return strconv.FormatFloat(f, 'g', -1, 64)
+		}
+	case KindBool:
+		if b, err := strconv.ParseBool(raw); err == nil {
+			if b {
+				return "1"
+			}
+			return "0"
+		}
+	}
+	return raw
+}
+
 // Param declares one parameter of a family: its name, default value
-// (string form) and one-line doc.
+// (string form), one-line doc, and value kind.
 type Param struct {
 	Name    string
 	Default string
 	Doc     string
+	Kind    ParamKind
 }
 
 // Family is one registered graph family. Build receives the resolved
 // parameter values (defaults merged with the spec's explicit arguments)
 // and the RNG; generation must be deterministic in (values, rng).
+// Topo builds the family's compact engine topology (CSR or implicit) and
+// Estimate projects its footprint; both validate parameters exactly like
+// Build.
 type Family struct {
-	Name   string
-	Doc    string
-	Params []Param
-	Build  func(v *Values, rng *rand.Rand) (*graph.Graph, error)
+	Name     string
+	Doc      string
+	Params   []Param
+	Build    func(v *Values, rng *rand.Rand) (*graph.Graph, error)
+	Topo     func(v *Values, rng *rand.Rand) (sim.Topology, error)
+	Estimate func(v *Values) (Estimate, error)
 }
 
 func (f *Family) param(name string) *Param {
@@ -162,11 +215,13 @@ func MustParse(s string) Spec {
 
 // String renders the canonical fully-explicit spec: every parameter of
 // the family in declaration order with its effective (explicit or
-// default) value. The canonical form re-parses to an equal spec, and
-// equal canonical forms build identical graphs for equal seeds. The
-// converse does not hold: values keep their original spelling
-// ("p=.5" and "p=0.5" stay distinct strings), so don't group runs by
-// comparing canonical forms of hand-written specs.
+// default) value, normalized to the canonical spelling of its declared
+// kind ("p=.5", "p=0.50" and "p=0.5" all render as "p=0.5"; booleans
+// render "1"/"0"). Equal canonical forms build identical graphs for
+// equal seeds, and specs that parse to the same values share one
+// canonical form — it is safe to group runs by comparing canonical
+// strings. Values that fail to parse keep their original spelling (and
+// fail at Build with the same message as before).
 func (s Spec) String() string {
 	f := lookup(s.Family)
 	if f == nil {
@@ -183,10 +238,11 @@ func (s Spec) String() string {
 }
 
 func (s Spec) arg(f *Family, name string) string {
+	p := f.param(name)
 	if v, ok := s.Args[name]; ok {
-		return v
+		return normalize(p.Kind, v)
 	}
-	return f.param(name).Default
+	return p.Default
 }
 
 // Values resolves the spec's effective parameter values.
@@ -222,6 +278,117 @@ func (s Spec) Build(rng *rand.Rand) (*graph.Graph, error) {
 		return nil, err
 	}
 	return g, nil
+}
+
+// Estimate projects what Spec.BuildTopology would construct: the
+// representation, node and edge counts, and the approximate resident
+// bytes of the topology itself (excluding lazily materialized neighbor
+// caches, which scale with the nodes a program actually iterates).
+type Estimate struct {
+	// Repr is "csr" or "implicit".
+	Repr string
+	// N and M are node and undirected-edge counts; for random families M
+	// is the expectation.
+	N int
+	M int64
+	// Bytes is the projected topology footprint: graph.CSRBytes(N, M)
+	// for CSR families, a small constant for implicit ones.
+	Bytes int64
+}
+
+// DefaultTopoBudget is the byte budget Spec.BuildTopology enforces: a
+// spec whose estimated footprint exceeds it fails with a clear error
+// instead of attempting the build. 4 GiB admits every registry family
+// at n = 10M (CSR powerlaw:n=10M,attach=3 is ~560 MB) while rejecting
+// accidental quadratic explosions like gnp:n=1000000,p=0.5.
+const DefaultTopoBudget int64 = 4 << 30
+
+// fmtBytes renders a byte count for budget errors.
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<40:
+		return fmt.Sprintf("%.1f TiB", float64(b)/(1<<40))
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(b)/(1<<20))
+	default:
+		return fmt.Sprintf("%d B", b)
+	}
+}
+
+// Estimate resolves the spec's parameters and projects the compact
+// representation BuildTopology would use, without building anything.
+func (s Spec) Estimate() (Estimate, error) {
+	f := lookup(s.Family)
+	if f == nil {
+		return Estimate{}, fmt.Errorf("topo: unknown family %q", s.Family)
+	}
+	v, err := s.Values()
+	if err != nil {
+		return Estimate{}, err
+	}
+	est, err := f.Estimate(v)
+	if err != nil {
+		return Estimate{}, err
+	}
+	if err := v.Err(); err != nil {
+		return Estimate{}, err
+	}
+	return est, nil
+}
+
+// BuildTopology builds the most compact engine topology the family
+// supports — CSR adjacency for generated graphs, O(1) implicit
+// arithmetic for grid/torus/hypercube/complete — under
+// DefaultTopoBudget. Deterministic in (canonical spec, rng state), and
+// edge-for-edge, port-for-port identical to the explicit Build graph
+// for equal rng states (the repr tests pin this).
+func (s Spec) BuildTopology(rng *rand.Rand) (sim.Topology, error) {
+	return s.BuildTopologyBudget(rng, DefaultTopoBudget)
+}
+
+// BuildTopologyBudget is BuildTopology with an explicit byte budget
+// (≤ 0 means DefaultTopoBudget).
+func (s Spec) BuildTopologyBudget(rng *rand.Rand, budget int64) (sim.Topology, error) {
+	f := lookup(s.Family)
+	if f == nil {
+		return nil, fmt.Errorf("topo: unknown family %q", s.Family)
+	}
+	if budget <= 0 {
+		budget = DefaultTopoBudget
+	}
+	est, err := s.Estimate()
+	if err != nil {
+		return nil, err
+	}
+	if est.Bytes > budget {
+		return nil, fmt.Errorf("topo: %s needs ~%s as %s (n=%d, m≈%d), over the %s build budget",
+			s, fmtBytes(est.Bytes), est.Repr, est.N, est.M, fmtBytes(budget))
+	}
+	v, err := s.Values()
+	if err != nil {
+		return nil, err
+	}
+	t, err := f.Topo(v, rng)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// csrEstimate is the Estimate of a CSR-represented family.
+func csrEstimate(n int, m int64) Estimate {
+	return Estimate{Repr: "csr", N: n, M: m, Bytes: graph.CSRBytes(n, m)}
+}
+
+// implicitEstimate is the Estimate of an implicit arithmetic family:
+// the topology itself is a couple of words regardless of n.
+func implicitEstimate(n int, m int64) Estimate {
+	return Estimate{Repr: "implicit", N: n, M: m, Bytes: 64}
 }
 
 // With returns a copy of the spec with one argument overridden.
